@@ -1,0 +1,100 @@
+// Command harmony-bench regenerates the paper's tables and figures: each
+// experiment id produces the corresponding data series and headline
+// numbers. Run with -list to see the available experiments, -exp all to
+// regenerate everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"harmony"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "harmony-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		hours   = flag.Float64("hours", 12, "workload length in hours")
+		rate    = flag.Float64("rate", 0.8, "task arrival rate (tasks/second)")
+		scale   = flag.Int("scale", 40, "cluster scale divisor")
+		cluster = flag.String("cluster", "tableii", "cluster: tableii | googlelike")
+		full    = flag.Bool("full-series", false, "print full series (default: summaries only)")
+		epsilon = flag.Float64("epsilon", 0, "container-sizing overflow bound (0 = default 0.25)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range harmony.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	if *exp == "" {
+		return fmt.Errorf("missing -exp (use -list to see ids)")
+	}
+
+	kind := harmony.ClusterTableII
+	switch *cluster {
+	case "tableii":
+	case "googlelike":
+		kind = harmony.ClusterGoogleLike
+	default:
+		return fmt.Errorf("unknown cluster %q", *cluster)
+	}
+	env := harmony.NewEnv(
+		harmony.WorkloadConfig{
+			Seed:           *seed,
+			Hours:          *hours,
+			TasksPerSecond: *rate,
+			Cluster:        kind,
+			ClusterScale:   *scale,
+		},
+		harmony.CharacterizeConfig{Seed: *seed},
+		harmony.SimulationConfig{Epsilon: *epsilon},
+	)
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = harmony.ExperimentIDs()
+	}
+	for _, id := range ids {
+		result, err := env.Run(id)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		if *full {
+			fmt.Print(result.Render())
+		} else {
+			fmt.Print(summarize(result))
+		}
+	}
+	return nil
+}
+
+func summarize(e *harmony.Experiment) string {
+	var b strings.Builder
+	full := e.Render()
+	inSeries := false
+	for _, line := range strings.Split(full, "\n") {
+		if strings.HasPrefix(line, "# series:") {
+			fmt.Fprintf(&b, "  %s\n", line)
+			inSeries = true
+			continue
+		}
+		if !inSeries && line != "" {
+			fmt.Fprintln(&b, line)
+		}
+	}
+	return b.String()
+}

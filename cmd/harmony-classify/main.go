@@ -1,0 +1,89 @@
+// Command harmony-classify runs HARMONY's two-step task characterization
+// (Section V) over a trace file produced by tracegen, prints the resulting
+// task classes, and optionally saves the characterization as JSON for
+// later online use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"harmony/internal/classify"
+	"harmony/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "harmony-classify:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in      = flag.String("trace", "", "input trace file (JSON lines, from tracegen)")
+		out     = flag.String("o", "", "write the characterization JSON to this file")
+		maxK    = flag.Int("max-classes", 12, "maximum classes per priority group")
+		gain    = flag.Float64("elbow-gain", 0.05, "elbow threshold for choosing k")
+		seed    = flag.Int64("seed", 1, "clustering seed")
+		verbose = flag.Bool("v", false, "also print per-class duration sub-classes")
+	)
+	flag.Parse()
+	if *in == "" {
+		return fmt.Errorf("missing -trace (generate one with tracegen)")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("trace invalid: %w", err)
+	}
+
+	ch, err := classify.Characterize(tr, classify.Config{
+		MaxK:    *maxK,
+		MinGain: *gain,
+		Seed:    *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%d tasks -> %d classes, %d task types\n",
+		len(tr.Tasks), len(ch.Classes), len(ch.TaskTypes()))
+	for i := range ch.Classes {
+		c := &ch.Classes[i]
+		fmt.Printf("class %3d [%-10s] cpu %.4f±%.4f mem %.4f±%.4f tasks %6d\n",
+			c.ID, c.Group, c.CPU, c.CPUStd, c.Mem, c.MemStd, c.Count)
+		if *verbose {
+			for si, sub := range c.Sub {
+				kind := "short"
+				if si > 0 {
+					kind = "long"
+				}
+				fmt.Printf("    %-5s mean %9.1fs cv2 %6.2f max %10.1fs tasks %6d\n",
+					kind, sub.MeanDuration, sub.SqCV, sub.MaxDuration, sub.Count)
+			}
+		}
+	}
+
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		if err := classify.Save(of, ch); err != nil {
+			return err
+		}
+		fmt.Printf("characterization saved to %s\n", *out)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Command harmony-sim runs one end-to-end cluster simulation — synthetic
+// workload, characterization, and a chosen provisioning policy — and
+// prints the headline measurements (energy, scheduling delays, machine
+// usage).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"harmony"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "harmony-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		traceIn = flag.String("trace", "", "run on a trace file (from tracegen) instead of generating one")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		hours   = flag.Float64("hours", 12, "workload length in hours")
+		rate    = flag.Float64("rate", 0.8, "task arrival rate (tasks/second)")
+		scale   = flag.Int("scale", 40, "cluster scale divisor (Table II has 10000 machines at scale 1)")
+		policy  = flag.String("policy", "cbs", "policy: baseline | cbs | cbp | always-on")
+		period  = flag.Float64("period", 300, "control period in seconds")
+		horizon = flag.Int("horizon", 2, "MPC look-ahead periods")
+		epsilon = flag.Float64("epsilon", 0, "container-sizing overflow bound (0 = default 0.25)")
+		omega   = flag.Float64("omega", 1, "over-provisioning factor")
+		diurnal = flag.Bool("diurnal-price", false, "use a sinusoidal daily electricity price")
+		series  = flag.Bool("series", false, "also print the active-machine time series")
+	)
+	flag.Parse()
+
+	var p harmony.Policy
+	switch *policy {
+	case "baseline":
+		p = harmony.PolicyBaseline
+	case "cbs":
+		p = harmony.PolicyCBS
+	case "cbp":
+		p = harmony.PolicyCBP
+	case "always-on":
+		p = harmony.PolicyAlwaysOn
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	var (
+		w   *harmony.Workload
+		err error
+	)
+	if *traceIn != "" {
+		w, err = harmony.LoadWorkload(*traceIn)
+	} else {
+		w, err = harmony.GenerateWorkload(harmony.WorkloadConfig{
+			Seed:           *seed,
+			Hours:          *hours,
+			TasksPerSecond: *rate,
+			Cluster:        harmony.ClusterTableII,
+			ClusterScale:   *scale,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d tasks, %d machines\n", w.NumTasks(), w.NumMachines())
+
+	var ch *harmony.Characterization
+	if p == harmony.PolicyCBS || p == harmony.PolicyCBP {
+		ch, err = w.Characterize(harmony.CharacterizeConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("characterization: %d classes, %d task types\n",
+			len(ch.Classes()), ch.NumTaskTypes())
+	}
+
+	res, err := harmony.Simulate(w, ch, harmony.SimulationConfig{
+		Policy:        p,
+		PeriodSeconds: *period,
+		Horizon:       *horizon,
+		Epsilon:       *epsilon,
+		Omega:         *omega,
+		DiurnalPrice:  *diurnal,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%s results:\n", res.Policy)
+	fmt.Printf("  energy:        %.2f kWh ($%.2f)\n", res.EnergyKWh, res.EnergyCost)
+	fmt.Printf("  switching:     %d events ($%.2f)\n", res.SwitchEvents, res.SwitchCost)
+	fmt.Printf("  tasks:         %d scheduled, %d unscheduled, %d completed\n",
+		res.Scheduled, res.Unscheduled, res.Completed)
+	for _, g := range harmony.Groups() {
+		fmt.Printf("  %-10s mean delay %8.1f s\n", g, res.MeanDelaySeconds[g])
+	}
+	if *series {
+		fmt.Println()
+		fmt.Print(res.ActiveMachines.Render())
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Command tracegen generates a synthetic Google-like workload trace
+// (Section III statistics) and writes it as a JSON-lines stream, or prints
+// summary statistics about an existing trace file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"harmony/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		hours    = flag.Float64("hours", 24, "trace length in hours")
+		rate     = flag.Float64("rate", 1.0, "mean task arrival rate (tasks/second)")
+		machines = flag.Int("machines", 1200, "approximate machine population")
+		out      = flag.String("o", "", "output file (default stdout)")
+		format   = flag.String("format", "jsonl", "output format: jsonl | csv")
+		inspect  = flag.String("inspect", "", "print statistics of an existing trace file instead of generating")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		return inspectTrace(*inspect)
+	}
+
+	cfg := trace.DefaultConfig(*seed)
+	cfg.Horizon = *hours * trace.Hour
+	cfg.RatePerS = *rate
+	cfg.Machines = trace.GoogleLikeMachines(*machines)
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "jsonl":
+		if err := trace.Write(w, tr); err != nil {
+			return err
+		}
+	case "csv":
+		if err := trace.WriteCSV(w, tr); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d tasks, %d machines, %.1f hours\n",
+		len(tr.Tasks), tr.TotalMachines(), tr.Horizon/trace.Hour)
+	return nil
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("trace invalid: %w", err)
+	}
+	fmt.Printf("tasks:    %d\n", len(tr.Tasks))
+	fmt.Printf("machines: %d (%d types)\n", tr.TotalMachines(), len(tr.Machines))
+	fmt.Printf("horizon:  %.1f hours\n", tr.Horizon/trace.Hour)
+	counts := trace.GroupCounts(tr)
+	for _, g := range trace.Groups() {
+		fmt.Printf("  %-10s %8d tasks (%.1f%%)\n",
+			g, counts[g], 100*float64(counts[g])/float64(len(tr.Tasks)))
+	}
+	for _, h := range trace.MachineHeterogeneity(tr) {
+		fmt.Printf("  type %2d %-6s cpu %.3f mem %.3f count %5d (%.1f%%)\n",
+			h.Type.ID, h.Type.Platform, h.Type.CPU, h.Type.Mem, h.Type.Count, 100*h.Fraction)
+	}
+	return nil
+}

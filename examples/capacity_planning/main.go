@@ -1,0 +1,87 @@
+// Command capacity_planning demonstrates HARMONY's analytical building
+// blocks in isolation: the M/G/c queueing model that converts arrival
+// rates and delay SLOs into container counts (Section VI), and the
+// statistical-multiplexing container sizing of Eq. 3 (Section VII-A).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harmony/internal/container"
+	"harmony/internal/queueing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("container counts for a delay SLO (M/G/c, Eqs. 1-2)")
+	fmt.Println("---------------------------------------------------")
+	scenarios := []struct {
+		name     string
+		lambda   float64 // tasks per second
+		meanDur  float64 // seconds
+		sqCV     float64
+		sloDelay float64 // seconds
+	}{
+		{"web front-end burst", 2.0, 30, 1.0, 5},
+		{"batch analytics", 0.5, 600, 2.5, 120},
+		{"long-running service", 0.01, 86400, 0.5, 60},
+		{"background crawler", 5.0, 10, 1.2, 30},
+	}
+	for _, sc := range scenarios {
+		mu := 1 / sc.meanDur
+		c, err := queueing.MinContainers(sc.lambda, mu, sc.sqCV, sc.sloDelay)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.name, err)
+		}
+		wait, err := queueing.MGcWait(c, sc.lambda, mu, sc.sqCV)
+		if err != nil {
+			return err
+		}
+		rho := queueing.Utilization(c, sc.lambda, mu)
+		fmt.Printf("%-22s λ=%5.2f/s dur=%6.0fs SLO=%4.0fs -> %5d containers"+
+			" (wait %6.2fs, util %4.1f%%)\n",
+			sc.name, sc.lambda, sc.meanDur, sc.sloDelay, c, wait, rho*100)
+	}
+
+	fmt.Println()
+	fmt.Println("container sizing by statistical multiplexing (Eq. 3)")
+	fmt.Println("-----------------------------------------------------")
+	classes := []struct {
+		name            string
+		cpuMean, cpuStd float64
+		memMean, memStd float64
+	}{
+		{"tiny uniform", 0.0125, 0.002, 0.0159, 0.003},
+		{"cpu-intensive", 0.10, 0.03, 0.02, 0.005},
+		{"memory-intensive", 0.02, 0.004, 0.12, 0.04},
+	}
+	for _, eps := range []float64{0.01, 0.05, 0.25} {
+		fmt.Printf("\nmachine-overflow bound eps = %.2f:\n", eps)
+		for _, cl := range classes {
+			s, err := container.ForClass(cl.cpuMean, cl.cpuStd, cl.memMean, cl.memStd, eps)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-18s cpu %.4f -> %.4f, mem %.4f -> %.4f (Z=%.2f)\n",
+				cl.name, cl.cpuMean, s.CPU, cl.memMean, s.Mem, s.Z)
+		}
+	}
+
+	// How many containers fit a machine before the violation probability
+	// crosses the bound?
+	fmt.Println()
+	fmt.Println("violation probability vs packed containers (capacity 1.0)")
+	fmt.Println("----------------------------------------------------------")
+	const mean, std = 0.05, 0.015
+	for _, n := range []int{10, 15, 18, 19, 20, 21} {
+		p := container.ViolationProbability(1.0, float64(n)*mean, float64(n)*std*std)
+		fmt.Printf("  %2d containers of %.2f±%.3f: P(overflow) = %.4f\n", n, mean, std, p)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command energy_comparison reproduces the headline evaluation of the
+// paper (Figures 21-26): the heterogeneity-oblivious baseline vs HARMONY's
+// CBP and CBS on the same workload, reporting total energy, energy cost,
+// and per-priority scheduling delays.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"harmony"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		seed  = flag.Int64("seed", 3, "RNG seed")
+		hours = flag.Float64("hours", 12, "workload hours")
+		rate  = flag.Float64("rate", 1.5, "tasks per second")
+		scale = flag.Int("scale", 20, "cluster scale divisor")
+	)
+	flag.Parse()
+
+	env := harmony.NewEnv(
+		harmony.WorkloadConfig{
+			Seed:           *seed,
+			Hours:          *hours,
+			TasksPerSecond: *rate,
+			Cluster:        harmony.ClusterTableII,
+			ClusterScale:   *scale,
+		},
+		harmony.CharacterizeConfig{Seed: *seed},
+		harmony.SimulationConfig{},
+	)
+	w, err := env.Workload()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d tasks, %d machines over %.0f h\n\n",
+		w.NumTasks(), w.NumMachines(), *hours)
+
+	base, err := env.BaselineRun()
+	if err != nil {
+		return err
+	}
+	cbp, err := env.CBPRun()
+	if err != nil {
+		return err
+	}
+	cbs, err := env.CBSRun()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-14s %10s %10s %10s %10s %28s\n",
+		"policy", "kWh", "cost $", "sched", "unsched", "mean delay g/o/p (s)")
+	for _, r := range []*harmony.SimulationResult{base, cbp, cbs} {
+		fmt.Printf("%-14s %10.1f %10.2f %10d %10d %10.1f %8.1f %8.1f\n",
+			r.Policy, r.EnergyKWh, r.EnergyCost, r.Scheduled, r.Unscheduled,
+			r.MeanDelaySeconds[harmony.GroupGratis],
+			r.MeanDelaySeconds[harmony.GroupOther],
+			r.MeanDelaySeconds[harmony.GroupProduction])
+	}
+
+	if base.EnergyKWh > 0 {
+		fmt.Printf("\nCBS energy saving vs baseline: %.1f%%\n",
+			100*(base.EnergyKWh-cbs.EnergyKWh)/base.EnergyKWh)
+		fmt.Printf("CBP energy saving vs baseline: %.1f%%\n",
+			100*(base.EnergyKWh-cbp.EnergyKWh)/base.EnergyKWh)
+	}
+	return nil
+}

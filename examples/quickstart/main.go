@@ -1,0 +1,60 @@
+// Command quickstart demonstrates the HARMONY pipeline end to end on a
+// small cluster: generate a synthetic Google-like workload, characterize
+// it with two-step K-means, and compare the heterogeneity-oblivious
+// baseline against HARMONY's CBS controller.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harmony"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 12-hour workload against a 1/100-scale Table II cluster
+	// (100 machines across four heterogeneous server models).
+	w, err := harmony.GenerateWorkload(harmony.WorkloadConfig{
+		Seed:           42,
+		Hours:          12,
+		TasksPerSecond: 0.15,
+		Cluster:        harmony.ClusterTableII,
+		ClusterScale:   100,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d tasks, %d machines\n", w.NumTasks(), w.NumMachines())
+
+	ch, err := w.Characterize(harmony.CharacterizeConfig{Seed: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("characterization: %d classes, %d task types\n",
+		len(ch.Classes()), ch.NumTaskTypes())
+	for _, cl := range ch.Classes() {
+		fmt.Printf("  class %2d [%-10s] cpu %.4f±%.4f mem %.4f±%.4f tasks %d\n",
+			cl.ID, cl.Group, cl.CPU, cl.CPUStd, cl.Mem, cl.MemStd, cl.Count)
+	}
+
+	for _, policy := range []harmony.Policy{harmony.PolicyBaseline, harmony.PolicyCBP, harmony.PolicyCBS} {
+		res, err := harmony.Simulate(w, ch, harmony.SimulationConfig{Policy: policy})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s:\n", res.Policy)
+		fmt.Printf("  energy: %.2f kWh ($%.2f), switch events: %d\n",
+			res.EnergyKWh, res.EnergyCost, res.SwitchEvents)
+		fmt.Printf("  scheduled %d / unscheduled %d\n", res.Scheduled, res.Unscheduled)
+		for _, g := range harmony.Groups() {
+			fmt.Printf("  mean %-10s delay: %8.1f s\n", g, res.MeanDelaySeconds[g])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,666 @@
+package harmony
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"harmony/internal/energy"
+	"harmony/internal/stats"
+	"harmony/internal/trace"
+)
+
+// Experiment is the regenerated form of one paper figure or table.
+type Experiment struct {
+	ID      string
+	Title   string
+	Series  []Series
+	Summary map[string]float64
+}
+
+// Render writes the experiment as plain text (header, summary numbers,
+// then each series).
+func (e *Experiment) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", e.ID, e.Title)
+	if len(e.Summary) > 0 {
+		keys := make([]string, 0, len(e.Summary))
+		for k := range e.Summary {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-40s %12.6g\n", k, e.Summary[k])
+		}
+	}
+	for _, s := range e.Series {
+		b.WriteString(s.Render())
+	}
+	return b.String()
+}
+
+// Env holds the lazily built inputs shared by all experiments: the
+// workload, its characterization, and the three policy simulations.
+type Env struct {
+	WorkloadCfg     WorkloadConfig
+	CharacterizeCfg CharacterizeConfig
+	SimCfg          SimulationConfig
+
+	w    *Workload
+	c    *Characterization
+	base *SimulationResult
+	cbs  *SimulationResult
+	cbp  *SimulationResult
+}
+
+// NewEnv creates an experiment environment. Zero-valued configs get the
+// package defaults (24h Table II workload at scale 10).
+func NewEnv(wc WorkloadConfig, cc CharacterizeConfig, sc SimulationConfig) *Env {
+	if wc.ClusterScale <= 0 {
+		wc.ClusterScale = 10
+	}
+	return &Env{WorkloadCfg: wc, CharacterizeCfg: cc, SimCfg: sc}
+}
+
+// Workload returns the (lazily generated) workload.
+func (e *Env) Workload() (*Workload, error) {
+	if e.w == nil {
+		w, err := GenerateWorkload(e.WorkloadCfg)
+		if err != nil {
+			return nil, err
+		}
+		e.w = w
+	}
+	return e.w, nil
+}
+
+// Characterization returns the (lazily computed) clustering.
+func (e *Env) Characterization() (*Characterization, error) {
+	if e.c == nil {
+		w, err := e.Workload()
+		if err != nil {
+			return nil, err
+		}
+		c, err := w.Characterize(e.CharacterizeCfg)
+		if err != nil {
+			return nil, err
+		}
+		e.c = c
+	}
+	return e.c, nil
+}
+
+func (e *Env) simulate(p Policy) (*SimulationResult, error) {
+	w, err := e.Workload()
+	if err != nil {
+		return nil, err
+	}
+	var c *Characterization
+	if p == PolicyCBS || p == PolicyCBP {
+		if c, err = e.Characterization(); err != nil {
+			return nil, err
+		}
+	}
+	cfg := e.SimCfg
+	cfg.Policy = p
+	return Simulate(w, c, cfg)
+}
+
+// BaselineRun returns the cached baseline simulation.
+func (e *Env) BaselineRun() (*SimulationResult, error) {
+	if e.base == nil {
+		r, err := e.simulate(PolicyBaseline)
+		if err != nil {
+			return nil, err
+		}
+		e.base = r
+	}
+	return e.base, nil
+}
+
+// CBSRun returns the cached HARMONY-CBS simulation.
+func (e *Env) CBSRun() (*SimulationResult, error) {
+	if e.cbs == nil {
+		r, err := e.simulate(PolicyCBS)
+		if err != nil {
+			return nil, err
+		}
+		e.cbs = r
+	}
+	return e.cbs, nil
+}
+
+// CBPRun returns the cached HARMONY-CBP simulation.
+func (e *Env) CBPRun() (*SimulationResult, error) {
+	if e.cbp == nil {
+		r, err := e.simulate(PolicyCBP)
+		if err != nil {
+			return nil, err
+		}
+		e.cbp = r
+	}
+	return e.cbp, nil
+}
+
+// ExperimentIDs lists every regenerable figure/table in paper order.
+func ExperimentIDs() []string {
+	return []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig9", "fig10-12", "fig13-17", "fig14-18", "fig19",
+		"fig20", "fig21", "fig22", "fig23-25", "fig26",
+	}
+}
+
+// Run regenerates one experiment by id.
+func (e *Env) Run(id string) (*Experiment, error) {
+	switch id {
+	case "fig1":
+		return e.demandExperiment(true)
+	case "fig2":
+		return e.demandExperiment(false)
+	case "fig3":
+		return e.machineUsageExperiment()
+	case "fig4":
+		return e.delayCDFExperiment()
+	case "fig5":
+		return e.machineTypesExperiment()
+	case "fig6":
+		return e.durationCDFExperiment()
+	case "fig7":
+		return e.taskSizeExperiment()
+	case "fig9":
+		return energyCurvesExperiment(), nil
+	case "fig10-12":
+		return e.classSizesExperiment()
+	case "fig13-17":
+		return e.centroidsExperiment()
+	case "fig14-18":
+		return e.shortLongExperiment()
+	case "fig19":
+		return e.arrivalRatesExperiment()
+	case "fig20":
+		return e.containersExperiment()
+	case "fig21":
+		return e.serversExperiment("fig21", PolicyBaseline)
+	case "fig22":
+		return e.serversExperiment("fig22", PolicyCBS)
+	case "fig23-25":
+		return e.policyDelaysExperiment()
+	case "fig26":
+		return e.energyComparisonExperiment()
+	default:
+		return nil, fmt.Errorf("harmony: unknown experiment %q", id)
+	}
+}
+
+func (e *Env) demandExperiment(cpu bool) (*Experiment, error) {
+	w, err := e.Workload()
+	if err != nil {
+		return nil, err
+	}
+	cpuS, memS, err := trace.DemandSeries(w.Trace, e.binWidth())
+	if err != nil {
+		return nil, err
+	}
+	if cpu {
+		return &Experiment{
+			ID:     "fig1",
+			Title:  "Total CPU demand over time",
+			Series: []Series{fromStatsSeries(cpuS)},
+			Summary: map[string]float64{
+				"peak CPU demand": maxY(cpuS),
+			},
+		}, nil
+	}
+	return &Experiment{
+		ID:     "fig2",
+		Title:  "Total memory demand over time",
+		Series: []Series{fromStatsSeries(memS)},
+		Summary: map[string]float64{
+			"peak memory demand": maxY(memS),
+		},
+	}, nil
+}
+
+func (e *Env) binWidth() float64 {
+	bw := e.SimCfg.PeriodSeconds
+	if bw <= 0 {
+		bw = 300
+	}
+	return bw
+}
+
+func (e *Env) machineUsageExperiment() (*Experiment, error) {
+	w, err := e.Workload()
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.SimCfg
+	cfg.Policy = PolicyAlwaysOn
+	res, err := Simulate(w, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	avail := Series{Name: "machines available"}
+	for _, p := range res.ActiveMachines.Points {
+		avail.Points = append(avail.Points, Point{X: p.X, Y: float64(w.NumMachines())})
+	}
+	// With every machine powered, the interesting curve is how many are
+	// actually running at least one task — the paper's observation that
+	// the cluster never adjusts capacity to demand.
+	used, err := e.usedSeries(w)
+	if err != nil {
+		return nil, err
+	}
+	return &Experiment{
+		ID:     "fig3",
+		Title:  "Machines available vs used (capacity never adjusted)",
+		Series: []Series{avail, used},
+		Summary: map[string]float64{
+			"machines available": float64(w.NumMachines()),
+			"peak machines used": maxYP(used.Points),
+		},
+	}, nil
+}
+
+// usedSeries reruns the always-on simulation at the sim layer to extract
+// the used-machine curve.
+func (e *Env) usedSeries(w *Workload) (Series, error) {
+	cfg := e.SimCfg
+	cfg.defaults()
+	counts := make([]int, len(w.Trace.Machines))
+	for i, mt := range w.Trace.Machines {
+		counts[i] = mt.Count
+	}
+	res, err := runRawSim(w, cfg, counts)
+	if err != nil {
+		return Series{}, err
+	}
+	return fromStatsSeries(res.UsedSeries), nil
+}
+
+func (e *Env) delayCDFExperiment() (*Experiment, error) {
+	w, err := e.Workload()
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.SimCfg
+	cfg.Policy = PolicyAlwaysOn
+	res, err := Simulate(w, nil, cfg)
+	if err != nil {
+		return nil, err
+	}
+	exp := &Experiment{
+		ID:      "fig4",
+		Title:   "CDF of task scheduling delay by priority group",
+		Summary: map[string]float64{},
+	}
+	for _, g := range Groups() {
+		exp.Series = append(exp.Series, res.DelayCDF[g])
+		exp.Summary["mean delay "+g.String()+" (s)"] = res.MeanDelaySeconds[g]
+	}
+	return exp, nil
+}
+
+func (e *Env) machineTypesExperiment() (*Experiment, error) {
+	w, err := e.Workload()
+	if err != nil {
+		return nil, err
+	}
+	hs := trace.MachineHeterogeneity(w.Trace)
+	count := Series{Name: "machines per type"}
+	cpu := Series{Name: "CPU capacity per type"}
+	mem := Series{Name: "memory capacity per type"}
+	summary := map[string]float64{}
+	for _, h := range hs {
+		x := float64(h.Type.ID)
+		count.Points = append(count.Points, Point{X: x, Y: float64(h.Type.Count)})
+		cpu.Points = append(cpu.Points, Point{X: x, Y: h.Type.CPU})
+		mem.Points = append(mem.Points, Point{X: x, Y: h.Type.Mem})
+	}
+	if len(hs) > 0 {
+		summary["types"] = float64(len(hs))
+		summary["largest type share"] = hs[0].Fraction
+	}
+	return &Experiment{
+		ID:      "fig5",
+		Title:   "Machine heterogeneity (types, capacities, population)",
+		Series:  []Series{count, cpu, mem},
+		Summary: summary,
+	}, nil
+}
+
+func (e *Env) durationCDFExperiment() (*Experiment, error) {
+	w, err := e.Workload()
+	if err != nil {
+		return nil, err
+	}
+	cdfs := trace.DurationCDFs(w.Trace)
+	exp := &Experiment{
+		ID:      "fig6",
+		Title:   "CDF of task duration by priority group",
+		Summary: map[string]float64{},
+	}
+	for _, g := range Groups() {
+		cdf := cdfs[g]
+		s := stats.Series{Name: "duration CDF " + g.String(), Points: cdf.Points(101)}
+		exp.Series = append(exp.Series, fromStatsSeries(s))
+		exp.Summary["median duration "+g.String()+" (s)"] = cdf.Quantile(0.5)
+		exp.Summary["max duration "+g.String()+" (s)"] = cdf.Quantile(1)
+	}
+	return exp, nil
+}
+
+func (e *Env) taskSizeExperiment() (*Experiment, error) {
+	w, err := e.Workload()
+	if err != nil {
+		return nil, err
+	}
+	exp := &Experiment{
+		ID:      "fig7",
+		Title:   "Task size scatter (CPU vs memory) per priority group",
+		Summary: map[string]float64{},
+	}
+	for _, g := range Groups() {
+		pts := trace.SizeScatter(w.Trace, g)
+		s := Series{Name: "task sizes " + g.String()}
+		var minC, maxC float64
+		for i, p := range pts {
+			if i == 0 || p.X < minC {
+				minC = p.X
+			}
+			if p.X > maxC {
+				maxC = p.X
+			}
+			// Cap the emitted scatter for readability.
+			if i < 2000 {
+				s.Points = append(s.Points, Point{X: p.X, Y: p.Y})
+			}
+		}
+		exp.Series = append(exp.Series, s)
+		if minC > 0 {
+			exp.Summary["CPU size ratio "+g.String()] = maxC / minC
+		}
+	}
+	return exp, nil
+}
+
+func energyCurvesExperiment() *Experiment {
+	exp := &Experiment{
+		ID:      "fig9",
+		Title:   "Machine energy consumption vs CPU usage (Table II models)",
+		Summary: map[string]float64{},
+	}
+	for _, m := range energy.TableII() {
+		s := Series{Name: m.Name}
+		for _, p := range energy.CurvePoints(m, 11) {
+			s.Points = append(s.Points, Point{X: p.CPUUtil, Y: p.Watts})
+		}
+		exp.Series = append(exp.Series, s)
+		exp.Summary[m.Name+" idle W"] = m.IdleWatts
+		exp.Summary[m.Name+" peak W"] = m.PeakWatts()
+	}
+	return exp
+}
+
+func (e *Env) classSizesExperiment() (*Experiment, error) {
+	c, err := e.Characterization()
+	if err != nil {
+		return nil, err
+	}
+	exp := &Experiment{
+		ID:      "fig10-12",
+		Title:   "Tasks per class for each priority group",
+		Summary: map[string]float64{},
+	}
+	for _, g := range Groups() {
+		s := Series{Name: "class sizes " + g.String()}
+		for _, cl := range c.Classes() {
+			if cl.Group != g {
+				continue
+			}
+			s.Points = append(s.Points, Point{X: float64(cl.ID), Y: float64(cl.Count)})
+		}
+		exp.Series = append(exp.Series, s)
+		exp.Summary["classes "+g.String()] = float64(len(s.Points))
+	}
+	return exp, nil
+}
+
+func (e *Env) centroidsExperiment() (*Experiment, error) {
+	c, err := e.Characterization()
+	if err != nil {
+		return nil, err
+	}
+	exp := &Experiment{
+		ID:      "fig13-17",
+		Title:   "Class centroids: mean and stddev of CPU and memory",
+		Summary: map[string]float64{},
+	}
+	accurate := 0
+	for _, g := range Groups() {
+		cpuMean := Series{Name: "cpu mean " + g.String()}
+		cpuStd := Series{Name: "cpu stddev " + g.String()}
+		memMean := Series{Name: "mem mean " + g.String()}
+		memStd := Series{Name: "mem stddev " + g.String()}
+		for _, cl := range c.Classes() {
+			if cl.Group != g {
+				continue
+			}
+			x := float64(cl.ID)
+			cpuMean.Points = append(cpuMean.Points, Point{X: x, Y: cl.CPU})
+			cpuStd.Points = append(cpuStd.Points, Point{X: x, Y: cl.CPUStd})
+			memMean.Points = append(memMean.Points, Point{X: x, Y: cl.Mem})
+			memStd.Points = append(memStd.Points, Point{X: x, Y: cl.MemStd})
+			if cl.CPUStd < cl.CPU && cl.MemStd < cl.Mem {
+				accurate++
+			}
+		}
+		exp.Series = append(exp.Series, cpuMean, cpuStd, memMean, memStd)
+	}
+	exp.Summary["classes with std < mean"] = float64(accurate)
+	exp.Summary["classes total"] = float64(len(c.Classes()))
+	return exp, nil
+}
+
+func (e *Env) shortLongExperiment() (*Experiment, error) {
+	c, err := e.Characterization()
+	if err != nil {
+		return nil, err
+	}
+	exp := &Experiment{
+		ID:      "fig14-18",
+		Title:   "Short/long duration sub-classes per class",
+		Summary: map[string]float64{},
+	}
+	short := Series{Name: "short mean duration (s)"}
+	long := Series{Name: "long mean duration (s)"}
+	split := 0
+	for _, cl := range c.Classes() {
+		x := float64(cl.ID)
+		short.Points = append(short.Points, Point{X: x, Y: cl.SubDurations[0]})
+		if len(cl.SubDurations) > 1 {
+			long.Points = append(long.Points, Point{X: x, Y: cl.SubDurations[1]})
+			split++
+		}
+	}
+	exp.Series = []Series{short, long}
+	exp.Summary["classes with short/long split"] = float64(split)
+	exp.Summary["classes total"] = float64(len(c.Classes()))
+	return exp, nil
+}
+
+func (e *Env) arrivalRatesExperiment() (*Experiment, error) {
+	w, err := e.Workload()
+	if err != nil {
+		return nil, err
+	}
+	rates, err := trace.ArrivalRates(w.Trace, e.binWidth())
+	if err != nil {
+		return nil, err
+	}
+	exp := &Experiment{
+		ID:      "fig19",
+		Title:   "Aggregated task arrival rates per priority group",
+		Summary: map[string]float64{},
+	}
+	for _, g := range Groups() {
+		s := rates[g]
+		exp.Series = append(exp.Series, fromStatsSeries(s))
+		exp.Summary["peak rate "+g.String()+" (tasks/s)"] = maxY(s)
+	}
+	return exp, nil
+}
+
+func (e *Env) containersExperiment() (*Experiment, error) {
+	res, err := e.CBSRun()
+	if err != nil {
+		return nil, err
+	}
+	exp := &Experiment{
+		ID:      "fig20",
+		Title:   "Containers provisioned per priority group (HARMONY)",
+		Summary: map[string]float64{},
+	}
+	for _, g := range Groups() {
+		s := res.Containers[g]
+		exp.Series = append(exp.Series, s)
+		exp.Summary["peak containers "+g.String()] = maxYP(s.Points)
+	}
+	return exp, nil
+}
+
+func (e *Env) serversExperiment(id string, p Policy) (*Experiment, error) {
+	var (
+		res *SimulationResult
+		err error
+	)
+	switch p {
+	case PolicyBaseline:
+		res, err = e.BaselineRun()
+	case PolicyCBS:
+		res, err = e.CBSRun()
+	default:
+		res, err = e.simulate(p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	title := fmt.Sprintf("Active servers over time (%s)", res.Policy)
+	exp := &Experiment{
+		ID:     id,
+		Title:  title,
+		Series: []Series{res.ActiveMachines},
+		Summary: map[string]float64{
+			"peak active machines": maxYP(res.ActiveMachines.Points),
+			"mean active machines": meanYP(res.ActiveMachines.Points),
+		},
+	}
+	if id == "fig22" {
+		// CBS and CBP provision essentially the same machines; attach
+		// CBP's series for completeness.
+		cbp, err := e.CBPRun()
+		if err != nil {
+			return nil, err
+		}
+		exp.Series = append(exp.Series, cbp.ActiveMachines)
+		exp.Summary["mean active machines CBP"] = meanYP(cbp.ActiveMachines.Points)
+	}
+	return exp, nil
+}
+
+func (e *Env) policyDelaysExperiment() (*Experiment, error) {
+	base, err := e.BaselineRun()
+	if err != nil {
+		return nil, err
+	}
+	cbs, err := e.CBSRun()
+	if err != nil {
+		return nil, err
+	}
+	cbp, err := e.CBPRun()
+	if err != nil {
+		return nil, err
+	}
+	exp := &Experiment{
+		ID:      "fig23-25",
+		Title:   "Scheduling-delay CDFs per priority group, all policies",
+		Summary: map[string]float64{},
+	}
+	for _, g := range Groups() {
+		for _, r := range []*SimulationResult{base, cbp, cbs} {
+			exp.Series = append(exp.Series, r.DelayCDF[g])
+			exp.Summary[fmt.Sprintf("mean delay %s %s (s)", g, r.Policy)] = r.MeanDelaySeconds[g]
+		}
+	}
+	return exp, nil
+}
+
+func (e *Env) energyComparisonExperiment() (*Experiment, error) {
+	base, err := e.BaselineRun()
+	if err != nil {
+		return nil, err
+	}
+	cbs, err := e.CBSRun()
+	if err != nil {
+		return nil, err
+	}
+	cbp, err := e.CBPRun()
+	if err != nil {
+		return nil, err
+	}
+	summary := map[string]float64{
+		"baseline energy (kWh)":    base.EnergyKWh,
+		"harmony-CBP energy (kWh)": cbp.EnergyKWh,
+		"harmony-CBS energy (kWh)": cbs.EnergyKWh,
+		"baseline cost ($)":        base.EnergyCost,
+		"harmony-CBP cost ($)":     cbp.EnergyCost,
+		"harmony-CBS cost ($)":     cbs.EnergyCost,
+	}
+	if base.EnergyKWh > 0 {
+		summary["CBS energy saving vs baseline (%)"] =
+			100 * (base.EnergyKWh - cbs.EnergyKWh) / base.EnergyKWh
+		summary["CBP energy saving vs baseline (%)"] =
+			100 * (base.EnergyKWh - cbp.EnergyKWh) / base.EnergyKWh
+	}
+	bars := Series{Name: "total energy (kWh) [1=baseline 2=CBP 3=CBS]", Points: []Point{
+		{X: 1, Y: base.EnergyKWh}, {X: 2, Y: cbp.EnergyKWh}, {X: 3, Y: cbs.EnergyKWh},
+	}}
+	return &Experiment{
+		ID:      "fig26",
+		Title:   "Total energy consumption: baseline vs CBP vs CBS",
+		Series:  []Series{bars},
+		Summary: summary,
+	}, nil
+}
+
+func maxY(s stats.Series) float64 {
+	mx := 0.0
+	for _, p := range s.Points {
+		if p.Y > mx {
+			mx = p.Y
+		}
+	}
+	return mx
+}
+
+func maxYP(pts []Point) float64 {
+	mx := 0.0
+	for _, p := range pts {
+		if p.Y > mx {
+			mx = p.Y
+		}
+	}
+	return mx
+}
+
+func meanYP(pts []Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range pts {
+		sum += p.Y
+	}
+	return sum / float64(len(pts))
+}

@@ -1,0 +1,88 @@
+package harmony
+
+import (
+	"strings"
+	"testing"
+)
+
+// The simulation-backed experiments (figures 3, 4, 20-26) run end to end
+// on a tiny workload and produce well-formed results.
+func TestEnvSimulationExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments are slow")
+	}
+	env := NewEnv(
+		WorkloadConfig{Seed: 8, Hours: 2, TasksPerSecond: 0.25, ClusterScale: 100},
+		CharacterizeConfig{Seed: 8, MaxClassesPerGroup: 4},
+		SimulationConfig{PeriodSeconds: 300},
+	)
+	for _, id := range []string{"fig3", "fig4", "fig20", "fig21", "fig22", "fig23-25", "fig26"} {
+		exp, err := env.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(exp.Series) == 0 {
+			t.Errorf("%s: no series", id)
+		}
+		if len(exp.Summary) == 0 {
+			t.Errorf("%s: no summary", id)
+		}
+	}
+
+	// fig26 exposes the headline comparison numbers.
+	exp, err := env.Run("fig26")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"baseline energy (kWh)",
+		"harmony-CBS energy (kWh)",
+		"harmony-CBP energy (kWh)",
+		"CBS energy saving vs baseline (%)",
+	} {
+		if _, ok := exp.Summary[key]; !ok {
+			t.Errorf("fig26 summary missing %q", key)
+		}
+	}
+	if exp.Summary["baseline energy (kWh)"] <= 0 {
+		t.Error("baseline energy not positive")
+	}
+
+	// Policy runs are cached: a second retrieval is cheap and identical.
+	again, err := env.Run("fig26")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Summary["baseline energy (kWh)"] != exp.Summary["baseline energy (kWh)"] {
+		t.Error("cached evaluation changed between runs")
+	}
+
+	// fig22 carries both CBS and CBP series per the paper's note that
+	// they provision the same machines.
+	f22, err := env.Run("fig22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f22.Series) < 2 {
+		t.Errorf("fig22 series = %d, want CBS and CBP", len(f22.Series))
+	}
+
+	// fig23-25 has one CDF per group per policy.
+	f23, err := env.Run("fig23-25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f23.Series) != 9 {
+		t.Errorf("fig23-25 series = %d, want 9 (3 groups x 3 policies)", len(f23.Series))
+	}
+	names := make([]string, 0, len(f23.Series))
+	for _, s := range f23.Series {
+		names = append(names, s.Name)
+	}
+	joined := strings.Join(names, "|")
+	for _, frag := range []string{"baseline", "harmony-CBS", "harmony-CBP", "gratis", "production"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("fig23-25 series names missing %q: %v", frag, names)
+		}
+	}
+}

@@ -1,0 +1,593 @@
+// Package harmony is a reproduction of "HARMONY: Dynamic
+// Heterogeneity-Aware Resource Provisioning in the Cloud" (Zhang, Zhani,
+// Boutaba, Hellerstein — ICDCS 2013): a dynamic capacity provisioning
+// framework that characterizes a heterogeneous workload with two-step
+// K-means clustering, forecasts per-class arrival rates with ARIMA, sizes
+// container reservations by statistical multiplexing, and controls the
+// number of powered machines of each type with a Model Predictive Control
+// loop around the CBS-RELAX linear program.
+//
+// The package is a facade over the building blocks in internal/: workload
+// generation (internal/trace), characterization (internal/classify),
+// forecasting (internal/forecast), the M/G/c queueing model
+// (internal/queueing), container sizing (internal/container), the LP
+// solver (internal/lp), the controller (internal/core), the cluster
+// simulator (internal/sim) and the policies (internal/sched).
+//
+// Typical use:
+//
+//	w, _ := harmony.GenerateWorkload(harmony.WorkloadConfig{Seed: 1, Hours: 24, TasksPerSecond: 1, Cluster: harmony.ClusterTableII, ClusterScale: 10})
+//	ch, _ := w.Characterize(harmony.CharacterizeConfig{})
+//	res, _ := harmony.Simulate(w, ch, harmony.SimulationConfig{Policy: harmony.PolicyCBS})
+//	fmt.Printf("energy: %.1f kWh, mean production delay: %.1fs\n",
+//		res.EnergyKWh, res.MeanDelaySeconds[harmony.GroupProduction])
+package harmony
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"harmony/internal/classify"
+	"harmony/internal/core"
+	"harmony/internal/energy"
+	"harmony/internal/sched"
+	"harmony/internal/sim"
+	"harmony/internal/stats"
+	"harmony/internal/trace"
+)
+
+// Point is one (x, y) sample of a plotted series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points — the unit every experiment emits.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+func fromStatsSeries(s stats.Series) Series {
+	out := Series{Name: s.Name, Points: make([]Point, len(s.Points))}
+	for i, p := range s.Points {
+		out.Points[i] = Point{X: p.X, Y: p.Y}
+	}
+	return out
+}
+
+// Render writes the series as aligned text rows.
+func (s Series) Render() string {
+	ss := stats.Series{Name: s.Name, Points: make([]stats.Point, len(s.Points))}
+	for i, p := range s.Points {
+		ss.Points[i] = stats.Point{X: p.X, Y: p.Y}
+	}
+	return ss.Render()
+}
+
+// Group identifies a task priority group.
+type Group = trace.PriorityGroup
+
+// Priority groups (gratis = priorities 0-1, other = 2-8, production = 9-11).
+const (
+	GroupGratis     = trace.Gratis
+	GroupOther      = trace.Other
+	GroupProduction = trace.Production
+)
+
+// Groups lists the three priority groups.
+func Groups() []Group { return trace.Groups() }
+
+// Cluster selects the simulated machine population.
+type Cluster int
+
+// Cluster kinds.
+const (
+	// ClusterTableII is the paper's evaluation cluster (Table II):
+	// four server models, 10 000 machines at scale 1.
+	ClusterTableII Cluster = iota + 1
+	// ClusterGoogleLike is the ten-type population of Figure 5 with
+	// synthetic energy models.
+	ClusterGoogleLike
+)
+
+// WorkloadConfig parameterizes synthetic workload generation.
+type WorkloadConfig struct {
+	Seed           int64
+	Hours          float64 // trace length (default 24)
+	TasksPerSecond float64 // mean arrival rate (default 1)
+	Cluster        Cluster // default ClusterTableII
+	// ClusterScale divides machine counts (e.g. 10 turns the 10 000
+	// machine Table II cluster into 1 000 machines). Default 1.
+	ClusterScale int
+}
+
+// Workload is a generated task trace plus its machine population and
+// energy models.
+type Workload struct {
+	Trace  *trace.Trace
+	Models []energy.Model
+}
+
+// GenerateWorkload builds a synthetic Google-like workload (Section III
+// statistics) against the selected cluster.
+func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) {
+	if cfg.Hours <= 0 {
+		cfg.Hours = 24
+	}
+	if cfg.TasksPerSecond <= 0 {
+		cfg.TasksPerSecond = 1
+	}
+	if cfg.ClusterScale <= 0 {
+		cfg.ClusterScale = 1
+	}
+	if cfg.Cluster == 0 {
+		cfg.Cluster = ClusterTableII
+	}
+
+	var (
+		machines []trace.MachineType
+		models   []energy.Model
+	)
+	switch cfg.Cluster {
+	case ClusterTableII:
+		models = energy.TableII()
+		for i := range models {
+			models[i].Count /= cfg.ClusterScale
+			if models[i].Count < 1 {
+				models[i].Count = 1
+			}
+			machines = append(machines, models[i].MachineType(i+1))
+		}
+	case ClusterGoogleLike:
+		machines = trace.GoogleLikeMachines(12000 / cfg.ClusterScale)
+		models = energy.SyntheticModels(machines)
+	default:
+		return nil, fmt.Errorf("harmony: unknown cluster %d", int(cfg.Cluster))
+	}
+
+	genCfg := trace.DefaultConfig(cfg.Seed)
+	genCfg.Horizon = cfg.Hours * trace.Hour
+	genCfg.RatePerS = cfg.TasksPerSecond
+	genCfg.Machines = machines
+	tr, err := trace.Generate(genCfg)
+	if err != nil {
+		return nil, fmt.Errorf("harmony: generate workload: %w", err)
+	}
+	return &Workload{Trace: tr, Models: models}, nil
+}
+
+// LoadWorkload reads a workload from a trace file produced by
+// cmd/tracegen (JSON-lines format). Energy models for the machine types
+// are synthesized from their capacities when they are not the Table II
+// population.
+func LoadWorkload(path string) (*Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("harmony: load workload: %w", err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("harmony: load workload: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("harmony: load workload: %w", err)
+	}
+	return &Workload{Trace: tr, Models: energy.SyntheticModels(tr.Machines)}, nil
+}
+
+// NumTasks returns the number of tasks in the workload.
+func (w *Workload) NumTasks() int { return len(w.Trace.Tasks) }
+
+// NumMachines returns the machine population size.
+func (w *Workload) NumMachines() int { return w.Trace.TotalMachines() }
+
+// CharacterizeConfig controls the two-step clustering.
+type CharacterizeConfig struct {
+	MaxClassesPerGroup int     // default 12
+	ElbowGain          float64 // default 0.05
+	Seed               int64
+}
+
+// ClassInfo is the public view of one task class.
+type ClassInfo struct {
+	ID           int
+	Group        Group
+	CPU, Mem     float64 // centroid demand
+	CPUStd       float64
+	MemStd       float64
+	Count        int
+	SubDurations []float64 // mean duration per sub-class, short first
+	SubCounts    []int
+}
+
+// Characterization is the result of workload clustering.
+type Characterization struct {
+	ch *classify.Characterization
+}
+
+// Characterize runs HARMONY's two-step task classification on the workload.
+func (w *Workload) Characterize(cfg CharacterizeConfig) (*Characterization, error) {
+	if cfg.MaxClassesPerGroup <= 0 {
+		cfg.MaxClassesPerGroup = 12
+	}
+	if cfg.ElbowGain <= 0 {
+		cfg.ElbowGain = 0.05
+	}
+	ch, err := classify.Characterize(w.Trace, classify.Config{
+		MaxK:    cfg.MaxClassesPerGroup,
+		MinGain: cfg.ElbowGain,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harmony: characterize: %w", err)
+	}
+	return &Characterization{ch: ch}, nil
+}
+
+// Classes returns the task classes.
+func (c *Characterization) Classes() []ClassInfo {
+	out := make([]ClassInfo, len(c.ch.Classes))
+	for i := range c.ch.Classes {
+		cl := &c.ch.Classes[i]
+		info := ClassInfo{
+			ID:     cl.ID,
+			Group:  cl.Group,
+			CPU:    cl.CPU,
+			Mem:    cl.Mem,
+			CPUStd: cl.CPUStd,
+			MemStd: cl.MemStd,
+			Count:  cl.Count,
+		}
+		for _, sub := range cl.Sub {
+			info.SubDurations = append(info.SubDurations, sub.MeanDuration)
+			info.SubCounts = append(info.SubCounts, sub.Count)
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// NumTaskTypes returns the number of provisionable task types
+// (class × short/long sub-class).
+func (c *Characterization) NumTaskTypes() int { return len(c.ch.TaskTypes()) }
+
+// Save serializes the characterization as JSON, so the offline
+// characterization phase and the online controller can run in different
+// processes (§VIII).
+func (c *Characterization) Save(w io.Writer) error {
+	return classify.Save(w, c.ch)
+}
+
+// LoadCharacterization parses a characterization produced by Save.
+func LoadCharacterization(r io.Reader) (*Characterization, error) {
+	ch, err := classify.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Characterization{ch: ch}, nil
+}
+
+// Policy selects the provisioning scheme to simulate.
+type Policy int
+
+// Provisioning policies.
+const (
+	// PolicyBaseline is the heterogeneity-oblivious comparison scheme:
+	// 80% bottleneck utilization, machines powered greedily by energy
+	// efficiency.
+	PolicyBaseline Policy = iota + 1
+	// PolicyCBS is HARMONY with container-based scheduling.
+	PolicyCBS
+	// PolicyCBP is HARMONY with container-based provisioning only.
+	PolicyCBP
+	// PolicyAlwaysOn keeps the whole cluster powered (no DCP).
+	PolicyAlwaysOn
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBaseline:
+		return "baseline"
+	case PolicyCBS:
+		return "harmony-CBS"
+	case PolicyCBP:
+		return "harmony-CBP"
+	case PolicyAlwaysOn:
+		return "always-on"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// SimulationConfig parameterizes one simulated run.
+type SimulationConfig struct {
+	Policy        Policy
+	PeriodSeconds float64 // control period (default 300)
+	Horizon       int     // MPC look-ahead periods (default 2)
+	// Epsilon is the per-machine overflow bound for container sizing
+	// (default 0.25; the paper handles residual violations by reserving
+	// extra machines, §VII-A — tighter bounds inflate reservations).
+	Epsilon float64
+	// Omega is the over-provisioning factor compensating bin-packing
+	// inefficiency (Eq. 17; default 1.05).
+	Omega float64
+	// SLODelay overrides the per-group scheduling-delay targets.
+	SLODelay map[Group]float64
+	// SwitchCostDollars is the per-transition cost of the largest
+	// machine; other types scale by idle power. Default 0.01.
+	SwitchCostDollars float64
+	// PricePerKWh is a flat electricity price (default 0.08). Set
+	// DiurnalPrice to use a sinusoidal daily price instead.
+	PricePerKWh  float64
+	DiurnalPrice bool
+	// BaselineUtilization is the baseline policy's bottleneck target
+	// (default 0.8).
+	BaselineUtilization float64
+	// BootDelaySeconds is how long machines take from power-on to
+	// accepting tasks (default 120). Reactive policies feel this as
+	// scheduling delay on every ramp; the MPC controller pre-provisions.
+	BootDelaySeconds float64
+	// MTBFHours, when positive, injects machine failures with the given
+	// mean time between failures; failed machines kill their tasks
+	// (requeued) and stay down for 15 minutes.
+	MTBFHours float64
+	// Forecaster selects the arrival-rate prediction model for the
+	// HARMONY policies: "arima" (default), "auto-arima", "seasonal",
+	// or "ewma".
+	Forecaster string
+}
+
+func (cfg *SimulationConfig) defaults() {
+	if cfg.PeriodSeconds <= 0 {
+		cfg.PeriodSeconds = 300
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 2
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.25
+	}
+	if cfg.Omega < 1 {
+		cfg.Omega = 1.05
+	}
+	if cfg.SwitchCostDollars <= 0 {
+		cfg.SwitchCostDollars = 0.01
+	}
+	if cfg.PricePerKWh <= 0 {
+		cfg.PricePerKWh = 0.08
+	}
+	if cfg.BaselineUtilization <= 0 {
+		cfg.BaselineUtilization = 0.8
+	}
+	if cfg.BootDelaySeconds < 0 {
+		cfg.BootDelaySeconds = 0
+	} else if cfg.BootDelaySeconds == 0 {
+		cfg.BootDelaySeconds = 120
+	}
+}
+
+// SimulationResult is the outcome of one simulated run.
+type SimulationResult struct {
+	Policy string
+
+	EnergyKWh    float64
+	EnergyCost   float64
+	SwitchCost   float64
+	SwitchEvents int
+
+	Scheduled   int
+	Unscheduled int
+	Completed   int
+	// Failures/TasksKilled report injected machine failures (0 unless
+	// MTBFHours was set).
+	Failures    int
+	TasksKilled int
+
+	// MeanDelaySeconds is the mean scheduling delay per priority group.
+	MeanDelaySeconds map[Group]float64
+	// DelayCDF holds per-group scheduling-delay CDF curves.
+	DelayCDF map[Group]Series
+	// ActiveMachines is the powered-machine count over time.
+	ActiveMachines Series
+	// QueueLength is the queue length over time.
+	QueueLength Series
+	// Containers, for HARMONY policies, is the per-group container
+	// count over time (Figure 20). Nil otherwise.
+	Containers map[Group]Series
+}
+
+// runRawSim runs an always-on simulation and returns the raw sim result;
+// experiment code uses it to reach series the public result does not carry.
+func runRawSim(w *Workload, cfg SimulationConfig, counts []int) (*sim.Result, error) {
+	cfg.defaults()
+	return sim.Run(sim.Config{
+		Trace:    w.Trace,
+		Models:   w.Models,
+		Price:    energy.FlatPrice(cfg.PricePerKWh),
+		Policy:   &sched.AlwaysOn{Counts: counts},
+		Period:   cfg.PeriodSeconds,
+		NumTypes: 1,
+		TypeOf:   func(trace.Task) int { return 0 },
+	})
+}
+
+// Simulate runs the workload under the selected policy and returns its
+// measurements. The characterization is required for the HARMONY policies
+// and optional (may be nil) for baseline/always-on.
+func Simulate(w *Workload, c *Characterization, cfg SimulationConfig) (*SimulationResult, error) {
+	cfg.defaults()
+	if w == nil {
+		return nil, errors.New("harmony: nil workload")
+	}
+
+	var price energy.Price = energy.FlatPrice(cfg.PricePerKWh)
+	if cfg.DiurnalPrice {
+		price = energy.DiurnalPrice{Base: cfg.PricePerKWh, Amplitude: cfg.PricePerKWh / 3, PhaseHour: 4}
+	}
+
+	// Per-type switch costs scale with idle power relative to the
+	// largest machine.
+	maxIdle := 0.0
+	for _, m := range w.Models {
+		if m.IdleWatts > maxIdle {
+			maxIdle = m.IdleWatts
+		}
+	}
+	switchCost := make([]float64, len(w.Models))
+	for i, m := range w.Models {
+		switchCost[i] = cfg.SwitchCostDollars * m.IdleWatts / maxIdle
+	}
+
+	// Task-type mapping. Only the HARMONY policies get per-type queues
+	// and relabeling: container-based scheduling restructures the
+	// scheduler around task classes. The baseline and always-on policies
+	// keep the legacy scheduler — per-priority FIFO first-fit — which
+	// suffers head-of-line blocking when a large task cannot be placed
+	// (the schedulability failure the paper attributes to
+	// heterogeneity-oblivious provisioning, §IX-B).
+	numTypes := 1
+	typeOf := func(trace.Task) int { return 0 }
+	var relabel func(int, float64) int
+	if c != nil && (cfg.Policy == PolicyCBS || cfg.Policy == PolicyCBP) {
+		types := c.ch.TaskTypes()
+		labeler := classify.NewLabeler(c.ch)
+		typeIdx := make(map[classify.TypeID]int, len(types))
+		for i, tt := range types {
+			typeIdx[tt.ID] = i
+		}
+		numTypes = len(types)
+		typeOf = func(task trace.Task) int {
+			id, ok := labeler.Initial(task)
+			if !ok {
+				return 0
+			}
+			return typeIdx[id]
+		}
+		relabel = func(current int, age float64) int {
+			if current < 0 || current >= len(types) {
+				return current
+			}
+			next := labeler.Refresh(types[current].ID, age)
+			if out, ok := typeIdx[next]; ok {
+				return out
+			}
+			return current
+		}
+	}
+	var harmonyPolicy *sched.Harmony
+
+	var policy sim.Policy
+	switch cfg.Policy {
+	case PolicyAlwaysOn:
+		counts := make([]int, len(w.Trace.Machines))
+		for i, mt := range w.Trace.Machines {
+			counts[i] = mt.Count
+		}
+		policy = &sched.AlwaysOn{Counts: counts}
+	case PolicyBaseline:
+		policy = &sched.Baseline{
+			Machines:    w.Trace.Machines,
+			Models:      w.Models,
+			Utilization: cfg.BaselineUtilization,
+		}
+	case PolicyCBS, PolicyCBP:
+		if c == nil {
+			return nil, errors.New("harmony: HARMONY policies need a characterization")
+		}
+		mode := core.CBS
+		if cfg.Policy == PolicyCBP {
+			mode = core.CBP
+		}
+		var predictor sched.PredictorKind
+		switch cfg.Forecaster {
+		case "", "arima":
+			predictor = sched.PredictARIMA
+		case "auto-arima":
+			predictor = sched.PredictAutoARIMA
+		case "seasonal":
+			predictor = sched.PredictSeasonal
+		case "ewma":
+			predictor = sched.PredictEWMA
+		default:
+			return nil, fmt.Errorf("harmony: unknown forecaster %q", cfg.Forecaster)
+		}
+		types := c.ch.TaskTypes()
+		h, err := sched.NewHarmony(sched.HarmonyConfig{
+			Mode:          mode,
+			Machines:      w.Trace.Machines,
+			Models:        w.Models,
+			Types:         types,
+			Price:         price,
+			PeriodSeconds: cfg.PeriodSeconds,
+			Horizon:       cfg.Horizon,
+			SLODelay:      cfg.SLODelay,
+			Epsilon:       cfg.Epsilon,
+			Omega:         cfg.Omega,
+			SwitchCost:    switchCost,
+			Predictor:     predictor,
+		})
+		if err != nil {
+			return nil, err
+		}
+		harmonyPolicy = h
+		policy = h
+	default:
+		return nil, fmt.Errorf("harmony: unknown policy %d", int(cfg.Policy))
+	}
+
+	res, err := sim.Run(sim.Config{
+		Trace:      w.Trace,
+		Models:     w.Models,
+		Price:      price,
+		Policy:     policy,
+		Period:     cfg.PeriodSeconds,
+		NumTypes:   numTypes,
+		TypeOf:     typeOf,
+		Relabel:    relabel,
+		SwitchCost: switchCost,
+		BootDelay:  cfg.BootDelaySeconds,
+		MTBFHours:  cfg.MTBFHours,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harmony: simulate %v: %w", cfg.Policy, err)
+	}
+	if harmonyPolicy != nil && harmonyPolicy.Err() != nil {
+		return nil, fmt.Errorf("harmony: policy error: %w", harmonyPolicy.Err())
+	}
+
+	out := &SimulationResult{
+		Policy:           res.Policy,
+		EnergyKWh:        res.EnergyKWh,
+		EnergyCost:       res.EnergyCost,
+		SwitchCost:       res.SwitchCost,
+		SwitchEvents:     res.SwitchEvents,
+		Scheduled:        res.Scheduled,
+		Unscheduled:      res.Unscheduled,
+		Completed:        res.Completed,
+		Failures:         res.Failures,
+		TasksKilled:      res.TasksKilled,
+		MeanDelaySeconds: make(map[Group]float64, trace.NumGroups),
+		DelayCDF:         make(map[Group]Series, trace.NumGroups),
+		ActiveMachines:   fromStatsSeries(res.ActiveSeries),
+		QueueLength:      fromStatsSeries(res.QueueSeries),
+	}
+	for _, g := range trace.Groups() {
+		out.MeanDelaySeconds[g] = res.MeanDelay(g)
+		cdf := res.DelayByGroup[g]
+		pts := cdf.Points(101)
+		s := stats.Series{Name: fmt.Sprintf("delay CDF %s (%s)", g, res.Policy), Points: pts}
+		out.DelayCDF[g] = fromStatsSeries(s)
+	}
+	if harmonyPolicy != nil {
+		out.Containers = make(map[Group]Series, trace.NumGroups)
+		for g, s := range harmonyPolicy.ContainerSeries() {
+			out.Containers[g] = fromStatsSeries(s)
+		}
+	}
+	return out, nil
+}

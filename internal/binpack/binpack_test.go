@@ -1,0 +1,256 @@
+package binpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func item(id int, demands ...float64) Item {
+	return Item{ID: id, Demands: demands}
+}
+
+func TestBinAddRemove(t *testing.T) {
+	b := NewBin([]float64{1, 1})
+	if err := b.Add(item(1, 0.5, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(item(2, 0.5, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(item(3, 0.1, 0.5)); err == nil {
+		t.Error("overflow accepted")
+	}
+	if !b.Remove(1) {
+		t.Error("remove failed")
+	}
+	if b.Remove(99) {
+		t.Error("removed phantom item")
+	}
+	if b.Used[0] != 0.5 || len(b.Items) != 1 {
+		t.Errorf("after remove: used=%v items=%d", b.Used, len(b.Items))
+	}
+	// Now item 3 fits.
+	if err := b.Add(item(3, 0.1, 0.5)); err != nil {
+		t.Errorf("add after remove: %v", err)
+	}
+}
+
+func TestBinFitsDimMismatch(t *testing.T) {
+	b := NewBin([]float64{1})
+	if b.Fits(item(1, 0.1, 0.1)) {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestEffectiveUtilization(t *testing.T) {
+	b := NewBin([]float64{1, 2})
+	_ = b.Add(item(1, 0.5, 1.0))
+	if got := b.EffectiveUtilization(); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+	var empty Bin
+	if empty.EffectiveUtilization() != 0 {
+		t.Error("empty bin utilization should be 0")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := FirstFit([]Item{item(1, 0.5)}, nil); err == nil {
+		t.Error("empty capacity accepted")
+	}
+	if _, err := FirstFit([]Item{item(1, 0.5)}, []float64{0}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := FirstFit([]Item{item(1, 2)}, []float64{1}); err == nil {
+		t.Error("oversized item accepted")
+	}
+	if _, err := FirstFit([]Item{item(1, -0.1)}, []float64{1}); err == nil {
+		t.Error("negative demand accepted")
+	}
+	if _, err := FirstFit([]Item{item(1, 0.1, 0.1)}, []float64{1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestFirstFitExact(t *testing.T) {
+	items := []Item{
+		item(1, 0.6), item(2, 0.6), item(3, 0.4), item(4, 0.4),
+	}
+	bins, err := FirstFit(items, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FF: [0.6, 0.4], [0.6, 0.4] -> 2 bins.
+	if len(bins) != 2 {
+		t.Fatalf("bins = %d, want 2", len(bins))
+	}
+}
+
+func TestFirstFitDecreasingBeatsFF(t *testing.T) {
+	// Classic instance where FFD helps: FF of 0.3,0.3,0.3,0.8 wastes.
+	items := []Item{item(1, 0.3), item(2, 0.3), item(3, 0.3), item(4, 0.8)}
+	ff, _ := FirstFit(items, []float64{1})
+	ffd, _ := FirstFitDecreasing(items, []float64{1})
+	if len(ffd) > len(ff) {
+		t.Errorf("FFD used %d bins, FF used %d", len(ffd), len(ff))
+	}
+	if len(ffd) != 2 {
+		t.Errorf("FFD bins = %d, want 2", len(ffd))
+	}
+}
+
+func TestBestFit(t *testing.T) {
+	items := []Item{item(1, 0.5), item(2, 0.3), item(3, 0.5), item(4, 0.2)}
+	bins, err := BestFit(items, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 2 {
+		t.Errorf("BestFit bins = %d, want 2", len(bins))
+	}
+}
+
+func TestFirstFitBounded(t *testing.T) {
+	items := []Item{item(1, 0.9), item(2, 0.9), item(3, 0.9)}
+	bins, unplaced, err := FirstFitBounded(items, []float64{1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 2 || len(unplaced) != 1 {
+		t.Errorf("bins=%d unplaced=%d, want 2/1", len(bins), len(unplaced))
+	}
+	if unplaced[0].ID != 3 {
+		t.Errorf("unplaced = %v", unplaced)
+	}
+	if _, _, err := FirstFitBounded(items, []float64{1}, -1); err == nil {
+		t.Error("negative budget accepted")
+	}
+	// Zero budget: everything unplaced.
+	bins, unplaced, err = FirstFitBounded(items, []float64{1}, 0)
+	if err != nil || len(bins) != 0 || len(unplaced) != 3 {
+		t.Errorf("zero budget: bins=%d unplaced=%d err=%v", len(bins), len(unplaced), err)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	// Three bins, light load: draining to 2 should re-home everything.
+	var bins []*Bin
+	for i := 0; i < 3; i++ {
+		b := NewBin([]float64{1, 1})
+		_ = b.Add(item(i, 0.2, 0.2))
+		bins = append(bins, b)
+	}
+	kept, stranded := Drain(bins, 2)
+	if len(kept) != 2 || len(stranded) != 0 {
+		t.Errorf("kept=%d stranded=%d", len(kept), len(stranded))
+	}
+	total := 0
+	for _, b := range kept {
+		total += len(b.Items)
+	}
+	if total != 3 {
+		t.Errorf("items after drain = %d, want 3", total)
+	}
+
+	// Heavy load: draining strands items.
+	var heavy []*Bin
+	for i := 0; i < 2; i++ {
+		b := NewBin([]float64{1})
+		_ = b.Add(Item{ID: i, Demands: []float64{0.9}})
+		heavy = append(heavy, b)
+	}
+	kept, stranded = Drain(heavy, 1)
+	if len(kept) != 1 || len(stranded) != 1 {
+		t.Errorf("heavy drain kept=%d stranded=%d", len(kept), len(stranded))
+	}
+
+	// Target >= len: no-op.
+	kept, stranded = Drain(heavy, 5)
+	if len(kept) != 2 || stranded != nil {
+		t.Error("no-op drain changed bins")
+	}
+}
+
+// Property: First-Fit never overfills a bin, packs every item exactly once,
+// and leaves at most one bin below the 1/(2|R|) effective-utilization
+// threshold (the "half-full" property in Lemma 1's proof).
+func TestFirstFitProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := 1 + r.Intn(3)
+		capacity := make([]float64, dims)
+		for d := range capacity {
+			capacity[d] = 1
+		}
+		n := 1 + r.Intn(60)
+		items := make([]Item, n)
+		for i := range items {
+			dem := make([]float64, dims)
+			for d := range dem {
+				dem[d] = r.Float64() * 0.9
+			}
+			items[i] = Item{ID: i, Demands: dem}
+		}
+		bins, err := FirstFit(items, capacity)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool, n)
+		for _, b := range bins {
+			for d := range capacity {
+				sum := 0.0
+				for _, it := range b.Items {
+					sum += it.Demands[d]
+				}
+				if sum > capacity[d]+1e-9 {
+					return false
+				}
+			}
+			for _, it := range b.Items {
+				if seen[it.ID] {
+					return false
+				}
+				seen[it.ID] = true
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		return HalfFullCount(bins, dims) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FFD and BestFit also produce valid packings of all items.
+func TestVariantsPackEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(50)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = item(i, r.Float64()*0.8, r.Float64()*0.8)
+		}
+		capacity := []float64{1, 1}
+		for _, pack := range []func([]Item, []float64) ([]*Bin, error){FirstFitDecreasing, BestFit} {
+			bins, err := pack(items, capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count := 0
+			for _, b := range bins {
+				count += len(b.Items)
+				for d := range capacity {
+					if b.Used[d] > capacity[d]+1e-9 {
+						t.Fatal("overfull bin")
+					}
+				}
+			}
+			if count != n {
+				t.Fatalf("packed %d of %d items", count, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package classify
+
+import (
+	"testing"
+
+	"harmony/internal/trace"
+)
+
+// syntheticTrace builds a workload with two obvious size clusters per group
+// and a clean short/long duration split.
+func syntheticTrace() *trace.Trace {
+	tr := &trace.Trace{
+		Machines: []trace.MachineType{{ID: 1, CPU: 1, Mem: 1, Count: 10}},
+		Horizon:  10000,
+	}
+	id := uint64(0)
+	add := func(n int, cpu, mem, dur float64, prio int) {
+		for i := 0; i < n; i++ {
+			id++
+			tr.Tasks = append(tr.Tasks, trace.Task{
+				ID: id, Submit: float64(id), Duration: dur,
+				CPU: cpu, Mem: mem, Priority: prio,
+			})
+		}
+	}
+	// Gratis: small cluster (short + long) and big cluster (short only).
+	add(50, 0.01, 0.01, 30, 0)
+	add(20, 0.01, 0.01, 5000, 0)
+	add(40, 0.2, 0.15, 30, 1)
+	// Other: one cluster, mixed durations.
+	add(60, 0.05, 0.05, 60, 5)
+	add(15, 0.05, 0.05, 9000, 5)
+	// Production: two clusters.
+	add(30, 0.1, 0.3, 120, 10)
+	add(30, 0.5, 0.4, 80000, 11)
+	tr.SortTasks()
+	return tr
+}
+
+func TestCharacterizeBasics(t *testing.T) {
+	ch, err := Characterize(syntheticTrace(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Classes) < 4 {
+		t.Fatalf("classes = %d, want >= 4", len(ch.Classes))
+	}
+	// Every group got at least one class.
+	for _, g := range trace.Groups() {
+		if len(ch.ClassesOf(g)) == 0 {
+			t.Errorf("group %v has no classes", g)
+		}
+	}
+	// Class counts sum to task count.
+	total := 0
+	for _, c := range ch.Classes {
+		total += c.Count
+		if c.CPU <= 0 || c.Mem <= 0 {
+			t.Errorf("class %d has non-positive centroid %v/%v", c.ID, c.CPU, c.Mem)
+		}
+		subTotal := 0
+		for _, s := range c.Sub {
+			subTotal += s.Count
+		}
+		if subTotal != c.Count {
+			t.Errorf("class %d sub counts %d != %d", c.ID, subTotal, c.Count)
+		}
+	}
+	if total != 245 {
+		t.Errorf("total classified = %d, want 245", total)
+	}
+}
+
+func TestCharacterizeEmpty(t *testing.T) {
+	if _, err := Characterize(&trace.Trace{}, Config{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestCharacterizeSeparatesSizes(t *testing.T) {
+	ch, err := Characterize(syntheticTrace(), Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gratis should split small (0.01) from large (0.2) tasks.
+	gratis := ch.ClassesOf(trace.Gratis)
+	var hasSmall, hasLarge bool
+	for _, c := range gratis {
+		if c.CPU < 0.05 {
+			hasSmall = true
+		}
+		if c.CPU > 0.1 {
+			hasLarge = true
+		}
+	}
+	if !hasSmall || !hasLarge {
+		t.Errorf("gratis classes did not separate sizes: %+v", gratis)
+	}
+}
+
+func TestShortLongSplit(t *testing.T) {
+	ch, err := Characterize(syntheticTrace(), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gratis small class mixes 30s and 5000s tasks: must split.
+	found := false
+	for _, c := range ch.ClassesOf(trace.Gratis) {
+		if c.CPU < 0.05 && len(c.Sub) == 2 {
+			found = true
+			short := c.ShortSub()
+			long, ok := c.LongSub()
+			if !ok {
+				t.Fatal("LongSub missing after split")
+			}
+			if short.MeanDuration >= long.MeanDuration {
+				t.Errorf("sub-classes not sorted: %v >= %v", short.MeanDuration, long.MeanDuration)
+			}
+			if long.MeanDuration < 3*short.MeanDuration {
+				t.Errorf("long/short separation too small: %v vs %v", long.MeanDuration, short.MeanDuration)
+			}
+		}
+	}
+	if !found {
+		t.Error("no gratis class with a short/long split")
+	}
+}
+
+func TestLabelNearestClass(t *testing.T) {
+	ch, err := Characterize(syntheticTrace(), Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A task near the large gratis cluster must label to it.
+	id := ch.Label(trace.Task{CPU: 0.19, Mem: 0.16, Priority: 0})
+	if id < 0 {
+		t.Fatal("label failed")
+	}
+	c := ch.Classes[id]
+	if c.Group != trace.Gratis {
+		t.Errorf("labeled into group %v", c.Group)
+	}
+	if c.CPU < 0.1 {
+		t.Errorf("labeled into small class (cpu centroid %v)", c.CPU)
+	}
+}
+
+func TestLabelerInitialAndRefresh(t *testing.T) {
+	ch, err := Characterize(syntheticTrace(), Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLabeler(ch)
+	id, ok := l.Initial(trace.Task{CPU: 0.01, Mem: 0.01, Priority: 0})
+	if !ok {
+		t.Fatal("Initial failed")
+	}
+	if id.Sub != 0 {
+		t.Errorf("initial sub = %d, want 0 (short)", id.Sub)
+	}
+	c := ch.Classes[id.Class]
+	if len(c.Sub) < 2 {
+		t.Skip("class did not split; relabel not applicable")
+	}
+	// Below the boundary: stays short.
+	still := l.Refresh(id, c.Sub[0].MaxDuration*0.5)
+	if still.Sub != 0 {
+		t.Error("refreshed to long before boundary")
+	}
+	// Past the boundary: upgrades to long.
+	up := l.Refresh(id, c.Sub[0].MaxDuration*1.01)
+	if up.Sub != 1 {
+		t.Error("did not upgrade to long past boundary")
+	}
+	// Refresh of a long label is a no-op.
+	again := l.Refresh(up, 1e12)
+	if again != up {
+		t.Error("long label changed on refresh")
+	}
+	// Refresh with a bogus class is a no-op.
+	bogus := l.Refresh(TypeID{Class: -1}, 100)
+	if bogus.Class != -1 {
+		t.Error("bogus class mutated")
+	}
+}
+
+func TestTaskTypes(t *testing.T) {
+	ch, err := Characterize(syntheticTrace(), Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := ch.TaskTypes()
+	if len(types) < len(ch.Classes) {
+		t.Fatalf("types = %d < classes = %d", len(types), len(ch.Classes))
+	}
+	total := 0
+	for _, tt := range types {
+		total += tt.Count
+		if tt.MeanDuration <= 0 {
+			t.Errorf("type %+v has non-positive duration", tt.ID)
+		}
+		if tt.SqCV < 0 {
+			t.Errorf("type %+v has negative CV²", tt.ID)
+		}
+	}
+	if total != 245 {
+		t.Errorf("type counts sum = %d, want 245", total)
+	}
+}
+
+// All tasks of the trace label back into a class of their own group.
+func TestLabelConsistency(t *testing.T) {
+	tr := syntheticTrace()
+	ch, err := Characterize(tr, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tr.Tasks {
+		id := ch.Label(task)
+		if id < 0 {
+			t.Fatalf("task %d unlabeled", task.ID)
+		}
+		if ch.Classes[id].Group != task.Group() {
+			t.Fatalf("task %d labeled across groups", task.ID)
+		}
+	}
+}
+
+func TestCharacterizeOnGeneratedTrace(t *testing.T) {
+	cfg := trace.DefaultConfig(11)
+	cfg.Horizon = 2 * trace.Hour
+	cfg.RatePerS = 1
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Characterize(tr, Config{Seed: 8, MaxK: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stddev should be well below the mean for most classes (the paper's
+	// accuracy check in Section IX-A). Require it for at least half.
+	good := 0
+	for _, c := range ch.Classes {
+		if c.CPUStd < c.CPU && c.MemStd < c.Mem {
+			good++
+		}
+	}
+	if good*2 < len(ch.Classes) {
+		t.Errorf("only %d/%d classes have std < mean", good, len(ch.Classes))
+	}
+	// Runtime labeling matches offline assignment class counts roughly:
+	// every task must at least label into its own group.
+	for _, task := range tr.Tasks[:100] {
+		if id := ch.Label(task); id < 0 || ch.Classes[id].Group != task.Group() {
+			t.Fatalf("bad label for %+v", task)
+		}
+	}
+}

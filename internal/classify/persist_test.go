@@ -1,0 +1,74 @@
+package classify
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := syntheticTrace()
+	ch, err := Characterize(tr, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, ch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Classes) != len(ch.Classes) {
+		t.Fatalf("classes = %d, want %d", len(got.Classes), len(ch.Classes))
+	}
+	for i := range ch.Classes {
+		a, b := &ch.Classes[i], &got.Classes[i]
+		if a.ID != b.ID || a.Group != b.Group || a.Count != b.Count {
+			t.Errorf("class %d metadata mismatch", i)
+		}
+		if a.CPU != b.CPU || a.MemStd != b.MemStd {
+			t.Errorf("class %d stats mismatch", i)
+		}
+		if a.CPUQuantiles != b.CPUQuantiles {
+			t.Errorf("class %d quantiles mismatch", i)
+		}
+		if len(a.Sub) != len(b.Sub) {
+			t.Errorf("class %d sub count mismatch", i)
+		}
+	}
+
+	// Labeling behaves identically after a round trip.
+	for _, task := range tr.Tasks {
+		if ch.Label(task) != got.Label(task) {
+			t.Fatalf("label diverged for task %d", task.ID)
+		}
+	}
+
+	// TaskTypes carry through.
+	if len(got.TaskTypes()) != len(ch.TaskTypes()) {
+		t.Error("task types diverged")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "nope",
+		"wrong version": `{"version": 99, "classes": [{"id":0}]}`,
+		"empty classes": `{"version": 1, "classes": []}`,
+		"sparse ids": `{"version":1,"classes":[{"id":5,"group":1,"sub":[{}],
+			"logCentroid":[0,0]}]}`,
+		"bad group": `{"version":1,"classes":[{"id":0,"group":9,"sub":[{}],
+			"logCentroid":[0,0]}]}`,
+		"no subs": `{"version":1,"classes":[{"id":0,"group":1,"sub":[],
+			"logCentroid":[0,0]}]}`,
+		"bad centroid": `{"version":1,"classes":[{"id":0,"group":1,"sub":[{}],
+			"logCentroid":[0]}]}`,
+	}
+	for name, body := range cases {
+		if _, err := Load(strings.NewReader(body)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

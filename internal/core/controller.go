@@ -1,0 +1,218 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"harmony/internal/binpack"
+)
+
+// Mode selects how the fractional plan is realized (Section VIII-B).
+type Mode int
+
+// Provisioning modes.
+const (
+	// CBS is container-based scheduling: the controller packs integer
+	// containers onto machines with First-Fit (Algorithm 1, Lemma 1)
+	// and hands the scheduler an explicit placement.
+	CBS Mode = iota + 1
+	// CBP is container-based provisioning: only machine counts and
+	// per-type container quotas are produced, by rounding the
+	// fractional solution; the existing scheduler keeps control.
+	CBP
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case CBS:
+		return "CBS"
+	case CBP:
+		return "CBP"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Controller is the heterogeneity-aware DCP controller (Algorithm 1): at
+// each control period it solves CBS-RELAX over a prediction horizon and
+// realizes the first period of the plan as an integer decision.
+type Controller struct {
+	Machines      []MachineSpec
+	Containers    []ContainerSpec
+	PeriodSeconds float64
+	Horizon       int
+	Mode          Mode
+}
+
+// Decision is the integer realization of one control period.
+type Decision struct {
+	// ActiveMachines[m] is the number of type-m machines to have on.
+	ActiveMachines []int
+	// Quota[m][n] caps the number of type-n containers that may run on
+	// type-m machines. For CBS it equals the packed counts; for CBP it
+	// is the rounded fractional allocation.
+	Quota [][]int
+	// Packings[m] lists, for CBS, the per-machine container-type counts
+	// chosen by First-Fit (one entry per machine to keep on). Nil for CBP.
+	Packings [][]map[int]int
+	// Dropped[n] counts containers of type n the rounding could not
+	// place within the machine budget (CBS only).
+	Dropped []int
+	// Plan is the underlying fractional CBS-RELAX solution.
+	Plan *Plan
+}
+
+// TotalActive returns the total machines the decision keeps on.
+func (d *Decision) TotalActive() int {
+	total := 0
+	for _, a := range d.ActiveMachines {
+		total += a
+	}
+	return total
+}
+
+// Step runs one MPC iteration: solve CBS-RELAX for the given initial
+// machine state, per-type demand over the horizon, and prices, then round
+// period 0 of the plan to integers according to the controller's mode.
+func (c *Controller) Step(initialActive []float64, demand [][]float64, price []float64) (*Decision, error) {
+	in := &PlanInput{
+		PeriodSeconds: c.PeriodSeconds,
+		Horizon:       c.Horizon,
+		Machines:      c.Machines,
+		Containers:    c.Containers,
+		Demand:        demand,
+		Price:         price,
+		InitialActive: initialActive,
+	}
+	plan, err := SolveRelaxed(in)
+	if err != nil {
+		return nil, err
+	}
+	if path := os.Getenv("HARMONY_DUMP_PLAN"); path != "" {
+		dumpPlanInput(in, path)
+	}
+	switch c.Mode {
+	case CBP:
+		return c.roundCBP(plan), nil
+	case CBS:
+		return c.roundCBS(plan)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", int(c.Mode))
+	}
+}
+
+// dumpPlanInput writes the LP input as JSON for offline debugging; it is
+// triggered by the HARMONY_DUMP_PLAN environment variable and best-effort.
+func dumpPlanInput(in *PlanInput, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	_ = enc.Encode(in)
+}
+
+// roundCBP rounds δ and σ to the nearest integers (Section VIII-B): the
+// machine count and per-type quotas are handed to an unmodified scheduler.
+func (c *Controller) roundCBP(plan *Plan) *Decision {
+	d := &Decision{
+		ActiveMachines: make([]int, len(c.Machines)),
+		Quota:          make([][]int, len(c.Machines)),
+		Dropped:        make([]int, len(c.Containers)),
+		Plan:           plan,
+	}
+	for m := range c.Machines {
+		a := int(math.Round(plan.Active[m][0]))
+		if a < 0 {
+			a = 0
+		}
+		if a > c.Machines[m].Available {
+			a = c.Machines[m].Available
+		}
+		d.ActiveMachines[m] = a
+		d.Quota[m] = make([]int, len(c.Containers))
+		for n := range c.Containers {
+			// The x^{mn} values are caps on concurrent containers, so
+			// round up: shaving a fractional allocation to zero would
+			// forbid a type from a machine class the plan meant to use.
+			d.Quota[m][n] = int(math.Ceil(plan.Alloc[m][n][0] - 1e-9))
+		}
+	}
+	return d
+}
+
+// roundCBS realizes period 0 with First-Fit packing per machine type
+// (Algorithm 1): at most ⌈z*⌉+1 machines of each type are used, and by
+// Lemma 1 at least x*/(2|R|) containers of each type fit. Containers that
+// do not fit in the budget are reported in Dropped.
+func (c *Controller) roundCBS(plan *Plan) (*Decision, error) {
+	d := &Decision{
+		ActiveMachines: make([]int, len(c.Machines)),
+		Quota:          make([][]int, len(c.Machines)),
+		Packings:       make([][]map[int]int, len(c.Machines)),
+		Dropped:        make([]int, len(c.Containers)),
+		Plan:           plan,
+	}
+	for m, ms := range c.Machines {
+		zStar := plan.Active[m][0]
+		budget := int(math.Ceil(zStar - 1e-9))
+		if zStar > 1e-9 {
+			budget++ // Lemma 1's z*+1 allowance
+		}
+		if budget > ms.Available {
+			budget = ms.Available
+		}
+		d.Quota[m] = make([]int, len(c.Containers))
+		if budget == 0 {
+			continue
+		}
+
+		// Integer container counts for this machine type: floor of the
+		// fractional allocation (the plan already respects capacity).
+		var items []binpack.Item
+		id := 0
+		for n, cs := range c.Containers {
+			count := int(math.Floor(plan.Alloc[m][n][0] + 1e-9))
+			om := cs.Omega
+			if om < 1 {
+				om = 1
+			}
+			for k := 0; k < count; k++ {
+				items = append(items, binpack.Item{
+					ID:      id<<16 | n,
+					Demands: []float64{om * cs.CPU, om * cs.Mem},
+				})
+				id++
+			}
+		}
+		capacity := []float64{ms.CPU, ms.Mem}
+		bins, unplaced, err := binpack.FirstFitBounded(items, capacity, budget)
+		if err != nil {
+			return nil, fmt.Errorf("core: CBS rounding type %d: %w", ms.Type, err)
+		}
+		d.ActiveMachines[m] = len(bins)
+		d.Packings[m] = make([]map[int]int, len(bins))
+		for bi, bin := range bins {
+			pack := make(map[int]int)
+			for _, it := range bin.Items {
+				n := it.ID & 0xffff
+				pack[n]++
+			}
+			d.Packings[m][bi] = pack
+		}
+		for _, it := range unplaced {
+			d.Dropped[it.ID&0xffff]++
+		}
+		// Quotas are the plan's caps (Algorithm 1 lets the scheduler
+		// keep placing as long as the total stays within x^{mn}), not
+		// the packed counts, which floor-rounding would understate.
+		for n := range c.Containers {
+			d.Quota[m][n] = int(math.Ceil(plan.Alloc[m][n][0] - 1e-9))
+		}
+	}
+	return d, nil
+}

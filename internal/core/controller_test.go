@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func testController(mode Mode) *Controller {
+	return &Controller{
+		Machines: twoTypes(),
+		Containers: []ContainerSpec{
+			{Type: 0, CPU: 0.1, Mem: 0.1, Value: 0.01},
+			{Type: 1, CPU: 0.5, Mem: 0.4, Value: 0.05},
+		},
+		PeriodSeconds: 300,
+		Horizon:       2,
+		Mode:          mode,
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if CBS.String() != "CBS" || CBP.String() != "CBP" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("fallback name wrong")
+	}
+}
+
+func TestStepUnknownMode(t *testing.T) {
+	c := testController(Mode(0))
+	_, err := c.Step([]float64{0, 0}, [][]float64{{1, 1}, {1, 1}}, []float64{0.1, 0.1})
+	if err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestStepCBPRoundsPlan(t *testing.T) {
+	c := testController(CBP)
+	d, err := c.Step([]float64{0, 0}, [][]float64{{10, 10}, {3, 3}}, []float64{0.08, 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TotalActive() == 0 {
+		t.Fatal("no machines provisioned for positive demand")
+	}
+	for m, ms := range c.Machines {
+		if d.ActiveMachines[m] > ms.Available {
+			t.Errorf("type %d over-provisioned: %d > %d", m, d.ActiveMachines[m], ms.Available)
+		}
+		if d.ActiveMachines[m] < 0 {
+			t.Errorf("negative machines %d", d.ActiveMachines[m])
+		}
+	}
+	// CBP has no packings.
+	if d.Packings != nil {
+		t.Error("CBP produced packings")
+	}
+	// Quota sums should roughly cover demand (utility dominates).
+	total0 := 0
+	for m := range c.Machines {
+		total0 += d.Quota[m][0]
+	}
+	if total0 < 9 {
+		t.Errorf("type-0 quota = %d, want ~10", total0)
+	}
+}
+
+func TestStepCBSPacksContainers(t *testing.T) {
+	c := testController(CBS)
+	d, err := c.Step([]float64{0, 0}, [][]float64{{10, 10}, {3, 3}}, []float64{0.08, 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TotalActive() == 0 {
+		t.Fatal("no machines provisioned")
+	}
+	for m, ms := range c.Machines {
+		if len(d.Packings[m]) != d.ActiveMachines[m] {
+			t.Errorf("type %d: %d packings for %d machines", m, len(d.Packings[m]), d.ActiveMachines[m])
+		}
+		// Each packed machine respects its capacity.
+		for _, pack := range d.Packings[m] {
+			var cpu, mem float64
+			for n, count := range pack {
+				cpu += float64(count) * c.Containers[n].CPU
+				mem += float64(count) * c.Containers[n].Mem
+			}
+			if cpu > ms.CPU+1e-9 || mem > ms.Mem+1e-9 {
+				t.Errorf("type %d machine overpacked: %v/%v", m, cpu, mem)
+			}
+		}
+		// Machine budget respects Lemma 1's z*+1.
+		budget := int(math.Ceil(d.Plan.Active[m][0]-1e-9)) + 1
+		if d.ActiveMachines[m] > budget {
+			t.Errorf("type %d uses %d machines > z*+1 = %d", m, d.ActiveMachines[m], budget)
+		}
+	}
+	// Lemma 1 guarantee: at least x*/(2|R|) of each type placed
+	// (2 resources -> quarter). Quotas count placements.
+	for n := range c.Containers {
+		placed := 0
+		frac := 0.0
+		for m := range c.Machines {
+			placed += d.Quota[m][n]
+			frac += d.Plan.Alloc[m][n][0]
+		}
+		if float64(placed) < math.Floor(frac/4)-1e-9 {
+			t.Errorf("type %d: placed %d < x*/(2R) = %v", n, placed, frac/4)
+		}
+	}
+}
+
+func TestStepCBSZeroDemand(t *testing.T) {
+	c := testController(CBS)
+	d, err := c.Step([]float64{5, 2}, [][]float64{{0, 0}, {0, 0}}, []float64{0.08, 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TotalActive() != 0 {
+		t.Errorf("machines on with zero demand: %d", d.TotalActive())
+	}
+	for n := range c.Containers {
+		if d.Dropped[n] != 0 {
+			t.Errorf("dropped[%d] = %d with zero demand", n, d.Dropped[n])
+		}
+	}
+}
+
+// Conservation in CBS: every floor(x*) container is either packed into a
+// machine or counted as dropped, and quotas are the plan's caps ⌈x*⌉.
+func TestStepCBSConservation(t *testing.T) {
+	c := testController(CBS)
+	d, err := c.Step([]float64{0, 0}, [][]float64{{57, 60}, {13, 13}}, []float64{0.08, 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range c.Containers {
+		want := 0
+		for m := range c.Machines {
+			want += int(math.Floor(d.Plan.Alloc[m][n][0] + 1e-9))
+		}
+		got := d.Dropped[n]
+		for m := range c.Machines {
+			for _, pack := range d.Packings[m] {
+				got += pack[n]
+			}
+		}
+		if got != want {
+			t.Errorf("type %d: packed+dropped = %d, want %d", n, got, want)
+		}
+		for m := range c.Machines {
+			if cap := int(math.Ceil(d.Plan.Alloc[m][n][0] - 1e-9)); d.Quota[m][n] != cap {
+				t.Errorf("type %d machine %d: quota = %d, want ceil(x*) = %d",
+					n, m, d.Quota[m][n], cap)
+			}
+		}
+	}
+}
+
+// The MPC loop can be iterated: the decision's machine counts feed the next
+// step's initial state without error, and a demand spike raises the fleet
+// while a drought lowers it.
+func TestStepIterateTracksDemand(t *testing.T) {
+	c := testController(CBS)
+	price := []float64{0.08, 0.08}
+	state := []float64{0, 0}
+
+	dLow, err := c.Step(state, [][]float64{{5, 5}, {1, 1}}, price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state = []float64{float64(dLow.ActiveMachines[0]), float64(dLow.ActiveMachines[1])}
+
+	dHigh, err := c.Step(state, [][]float64{{200, 200}, {40, 40}}, price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dHigh.TotalActive() <= dLow.TotalActive() {
+		t.Errorf("fleet did not grow on spike: %d -> %d", dLow.TotalActive(), dHigh.TotalActive())
+	}
+
+	state = []float64{float64(dHigh.ActiveMachines[0]), float64(dHigh.ActiveMachines[1])}
+	dDrop, err := c.Step(state, [][]float64{{2, 2}, {0, 0}}, price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dDrop.TotalActive() >= dHigh.TotalActive() {
+		t.Errorf("fleet did not shrink on drought: %d -> %d", dHigh.TotalActive(), dDrop.TotalActive())
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomInput builds a random but well-formed CBS-RELAX instance.
+func randomInput(r *rand.Rand) *PlanInput {
+	nm := 1 + r.Intn(3)
+	nn := 1 + r.Intn(6)
+	w := 1 + r.Intn(3)
+	in := &PlanInput{
+		PeriodSeconds: 60 + r.Float64()*600,
+		Horizon:       w,
+	}
+	for m := 0; m < nm; m++ {
+		cpu := 0.1 + r.Float64()*0.9
+		in.Machines = append(in.Machines, MachineSpec{
+			Type:       m + 1,
+			CPU:        cpu,
+			Mem:        0.1 + r.Float64()*0.9,
+			Available:  1 + r.Intn(50),
+			IdleWatts:  20 + r.Float64()*300,
+			AlphaCPU:   10 + r.Float64()*300,
+			AlphaMem:   5 + r.Float64()*100,
+			SwitchCost: r.Float64() * 0.01,
+		})
+	}
+	for n := 0; n < nn; n++ {
+		in.Containers = append(in.Containers, ContainerSpec{
+			Type:  n,
+			CPU:   0.01 + r.Float64()*0.5,
+			Mem:   0.01 + r.Float64()*0.5,
+			Value: r.Float64() * 0.2,
+			Omega: 1 + r.Float64()*0.5,
+		})
+	}
+	in.Demand = make([][]float64, nn)
+	for n := range in.Demand {
+		in.Demand[n] = make([]float64, w)
+		for t := range in.Demand[n] {
+			in.Demand[n][t] = math.Floor(r.Float64() * 100)
+		}
+	}
+	in.Price = make([]float64, w)
+	for t := range in.Price {
+		in.Price[t] = 0.02 + r.Float64()*0.2
+	}
+	in.InitialActive = make([]float64, nm)
+	for m := range in.InitialActive {
+		in.InitialActive[m] = float64(r.Intn(in.Machines[m].Available + 1))
+	}
+	return in
+}
+
+// Invariants of every CBS-RELAX solution: availability (Eq. 15), capacity
+// (Eq. 16/17), schedule-vs-demand caps, non-negativity, and zero
+// allocation on incompatible machine/container pairs.
+func TestSolveRelaxedInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 60; trial++ {
+		in := randomInput(r)
+		plan, err := SolveRelaxed(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for m, ms := range in.Machines {
+			for tt := 0; tt < in.Horizon; tt++ {
+				z := plan.Active[m][tt]
+				if z < -1e-6 || z > float64(ms.Available)+1e-6 {
+					t.Fatalf("trial %d: z[%d][%d] = %v out of [0,%d]",
+						trial, m, tt, z, ms.Available)
+				}
+				var cpu, mem float64
+				for n, cs := range in.Containers {
+					x := plan.Alloc[m][n][tt]
+					if x < -1e-6 {
+						t.Fatalf("trial %d: negative alloc", trial)
+					}
+					if x > 1e-9 && !Compatible(ms, cs) {
+						t.Fatalf("trial %d: incompatible pair allocated", trial)
+					}
+					om := cs.Omega
+					if om < 1 {
+						om = 1
+					}
+					cpu += om * cs.CPU * x
+					mem += om * cs.Mem * x
+				}
+				if cpu > ms.CPU*z+1e-5 {
+					t.Fatalf("trial %d: cpu capacity violated on %d@%d: %v > %v",
+						trial, m, tt, cpu, ms.CPU*z)
+				}
+				if mem > ms.Mem*z+1e-5 {
+					t.Fatalf("trial %d: mem capacity violated", trial)
+				}
+			}
+		}
+		for n := range in.Containers {
+			for tt := 0; tt < in.Horizon; tt++ {
+				s := plan.Scheduled[n][tt]
+				if s < -1e-6 || s > in.Demand[n][tt]+1e-6 {
+					t.Fatalf("trial %d: scheduled %v outside [0, %v]",
+						trial, s, in.Demand[n][tt])
+				}
+				total := 0.0
+				for m := range in.Machines {
+					total += plan.Alloc[m][n][tt]
+				}
+				if s > total+1e-5 {
+					t.Fatalf("trial %d: scheduled %v exceeds allocation %v", trial, s, total)
+				}
+			}
+		}
+	}
+}
+
+// The controller's integer decisions also respect machine availability and
+// per-machine capacity on random instances, for both modes.
+func TestControllerInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 30; trial++ {
+		in := randomInput(r)
+		for _, mode := range []Mode{CBS, CBP} {
+			ctrl := &Controller{
+				Machines:      in.Machines,
+				Containers:    in.Containers,
+				PeriodSeconds: in.PeriodSeconds,
+				Horizon:       in.Horizon,
+				Mode:          mode,
+			}
+			dec, err := ctrl.Step(in.InitialActive, in.Demand, in.Price)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, mode, err)
+			}
+			for m, ms := range in.Machines {
+				if dec.ActiveMachines[m] < 0 || dec.ActiveMachines[m] > ms.Available {
+					t.Fatalf("trial %d %v: machines out of range", trial, mode)
+				}
+				for n := range in.Containers {
+					if dec.Quota[m][n] < 0 {
+						t.Fatalf("trial %d %v: negative quota", trial, mode)
+					}
+				}
+			}
+			if mode != CBS {
+				continue
+			}
+			for m, ms := range in.Machines {
+				for _, pack := range dec.Packings[m] {
+					var cpu, mem float64
+					for n, count := range pack {
+						cs := in.Containers[n]
+						om := cs.Omega
+						if om < 1 {
+							om = 1
+						}
+						cpu += om * cs.CPU * float64(count)
+						mem += om * cs.Mem * float64(count)
+					}
+					if cpu > ms.CPU+1e-9 || mem > ms.Mem+1e-9 {
+						t.Fatalf("trial %d: packed machine over capacity", trial)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package energy
+
+import (
+	"testing"
+
+	"harmony/internal/trace"
+)
+
+func TestSyntheticModel(t *testing.T) {
+	mt := trace.MachineType{ID: 3, Platform: "PF-B", CPU: 0.5, Mem: 0.25, Count: 40}
+	m := SyntheticModel(mt)
+	if m.CPUCap != 0.5 || m.MemCap != 0.25 || m.Count != 40 {
+		t.Errorf("capacities not preserved: %+v", m)
+	}
+	if m.IdleWatts <= 45 {
+		t.Errorf("idle watts %v should exceed the platform floor", m.IdleWatts)
+	}
+	if m.AlphaCPU <= 0 || m.AlphaMem <= 0 {
+		t.Errorf("alphas non-positive: %+v", m)
+	}
+	// Bigger machines draw more.
+	big := SyntheticModel(trace.MachineType{CPU: 1, Mem: 1})
+	small := SyntheticModel(trace.MachineType{CPU: 0.25, Mem: 0.25})
+	if big.IdleWatts <= small.IdleWatts {
+		t.Error("idle watts not monotone in capacity")
+	}
+	if big.PeakWatts() <= small.PeakWatts() {
+		t.Error("peak watts not monotone in capacity")
+	}
+}
+
+func TestSyntheticModels(t *testing.T) {
+	mts := trace.GoogleLikeMachines(1200)
+	models := SyntheticModels(mts)
+	if len(models) != len(mts) {
+		t.Fatalf("models = %d, want %d", len(models), len(mts))
+	}
+	for i, m := range models {
+		if m.CPUCap != mts[i].CPU || m.MemCap != mts[i].Mem {
+			t.Errorf("model %d capacities mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ARIMA is an autoregressive integrated moving-average model ARIMA(p,d,q),
+// the predictor the paper uses for per-class arrival rates [7]. Parameters
+// are estimated with the Hannan–Rissanen procedure: a long autoregression
+// supplies innovation estimates, then a single least-squares regression on
+// lagged values and lagged innovations yields the AR and MA coefficients.
+type ARIMA struct {
+	P, D, Q int
+
+	constant float64
+	ar       []float64 // φ_1..φ_p
+	ma       []float64 // θ_1..θ_q
+	// tail state retained from fitting, used to seed forecasts
+	diffTail  []float64 // last P values of the differenced series
+	residTail []float64 // last Q residuals
+	lastVals  []float64 // last D values of the raw series (for integration)
+	fitted    bool
+}
+
+// NewARIMA constructs an ARIMA(p,d,q) model. Orders must be non-negative
+// and p+q must be positive.
+func NewARIMA(p, d, q int) (*ARIMA, error) {
+	if p < 0 || d < 0 || q < 0 {
+		return nil, errors.New("forecast: negative ARIMA order")
+	}
+	if p+q == 0 {
+		return nil, errors.New("forecast: ARIMA needs p+q > 0")
+	}
+	return &ARIMA{P: p, D: d, Q: q}, nil
+}
+
+// Fit implements Predictor.
+func (m *ARIMA) Fit(series []float64) error {
+	need := m.D + m.P + m.Q + 8
+	if len(series) < need {
+		return fmt.Errorf("%w: have %d, need >= %d", ErrTooShort, len(series), need)
+	}
+	w, err := Difference(series, m.D)
+	if err != nil {
+		return err
+	}
+
+	resid := make([]float64, len(w))
+	if m.Q > 0 {
+		// Stage one: long AR to estimate innovations.
+		long := m.P + m.Q + 4
+		if long > len(w)/2 {
+			long = len(w) / 2
+		}
+		if long < 1 {
+			long = 1
+		}
+		c0, phi0, err := fitAR(w, long)
+		if err != nil {
+			return err
+		}
+		for t := long; t < len(w); t++ {
+			pred := c0
+			for j := 0; j < long; j++ {
+				pred += phi0[j] * w[t-1-j]
+			}
+			resid[t] = w[t] - pred
+		}
+	}
+
+	// Stage two: regress w_t on p lags of w and q lags of residuals.
+	start := m.P
+	if m.Q > 0 {
+		lo := m.P + m.Q + 4
+		if lo > len(w)/2 {
+			lo = len(w) / 2
+		}
+		if lo < 1 {
+			lo = 1
+		}
+		if s := lo + m.Q; s > start {
+			start = s
+		}
+	}
+	rows := len(w) - start
+	cols := 1 + m.P + m.Q
+	if rows <= cols {
+		return ErrTooShort
+	}
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		t := start + i
+		row := make([]float64, cols)
+		row[0] = 1
+		for j := 0; j < m.P; j++ {
+			row[1+j] = w[t-1-j]
+		}
+		for j := 0; j < m.Q; j++ {
+			row[1+m.P+j] = resid[t-1-j]
+		}
+		x[i] = row
+		y[i] = w[t]
+	}
+	beta, err := leastSquares(x, y)
+	if err != nil {
+		return err
+	}
+	m.constant = beta[0]
+	m.ar = beta[1 : 1+m.P]
+	m.ma = beta[1+m.P:]
+
+	// Retain tails for forecasting.
+	m.diffTail = tail(w, m.P)
+	m.residTail = tail(resid, m.Q)
+	m.lastVals = lastIntegrationState(series, m.D)
+	m.fitted = true
+	return nil
+}
+
+// Forecast implements Predictor. Future innovations are set to zero; the
+// differenced forecasts are integrated back D times.
+func (m *ARIMA) Forecast(h int) ([]float64, error) {
+	if !m.fitted {
+		return nil, ErrNotFitted
+	}
+	if h <= 0 {
+		return nil, ErrBadHorizon
+	}
+	w := append([]float64(nil), m.diffTail...)
+	e := append([]float64(nil), m.residTail...)
+	out := make([]float64, 0, h)
+	for i := 0; i < h; i++ {
+		pred := m.constant
+		for j := 0; j < m.P; j++ {
+			idx := len(w) - 1 - j
+			if idx >= 0 {
+				pred += m.ar[j] * w[idx]
+			}
+		}
+		for j := 0; j < m.Q; j++ {
+			idx := len(e) - 1 - j
+			if idx >= 0 {
+				pred += m.ma[j] * e[idx]
+			}
+		}
+		w = append(w, pred)
+		e = append(e, 0)
+		out = append(out, pred)
+	}
+	// Integrate back d times using the stored integration state.
+	for d := m.D - 1; d >= 0; d-- {
+		acc := m.lastVals[d]
+		for i := range out {
+			acc += out[i]
+			out[i] = acc
+		}
+	}
+	return out, nil
+}
+
+// fitAR estimates an AR(p) model with intercept by ordinary least squares.
+func fitAR(w []float64, p int) (c float64, phi []float64, err error) {
+	rows := len(w) - p
+	cols := 1 + p
+	if rows <= cols {
+		return 0, nil, ErrTooShort
+	}
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		t := p + i
+		row := make([]float64, cols)
+		row[0] = 1
+		for j := 0; j < p; j++ {
+			row[1+j] = w[t-1-j]
+		}
+		x[i] = row
+		y[i] = w[t]
+	}
+	beta, err := leastSquares(x, y)
+	if err != nil {
+		return 0, nil, err
+	}
+	return beta[0], beta[1:], nil
+}
+
+// leastSquares solves min ||Xb - y||² via the normal equations with a
+// ridge fallback for (near-)singular designs.
+func leastSquares(x [][]float64, y []float64) ([]float64, error) {
+	rows := len(x)
+	if rows == 0 {
+		return nil, ErrTooShort
+	}
+	cols := len(x[0])
+	// Build XtX and Xty.
+	xtx := make([][]float64, cols)
+	xty := make([]float64, cols)
+	for i := 0; i < cols; i++ {
+		xtx[i] = make([]float64, cols)
+	}
+	for r := 0; r < rows; r++ {
+		for i := 0; i < cols; i++ {
+			xty[i] += x[r][i] * y[r]
+			for j := i; j < cols; j++ {
+				xtx[i][j] += x[r][i] * x[r][j]
+			}
+		}
+	}
+	for i := 0; i < cols; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	b, err := solveSPD(xtx, xty)
+	if err == nil {
+		return b, nil
+	}
+	// Ridge fallback: add a small multiple of the diagonal scale.
+	scale := 0.0
+	for i := 0; i < cols; i++ {
+		scale += xtx[i][i]
+	}
+	lambda := 1e-8 * (scale/float64(cols) + 1)
+	for i := 0; i < cols; i++ {
+		xtx[i][i] += lambda
+	}
+	return solveSPD(xtx, xty)
+}
+
+// solveSPD solves Ax=b by Gaussian elimination with partial pivoting.
+func solveSPD(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Work on copies to leave inputs intact for the ridge retry.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+		m[i] = append(m[i], b[i])
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, errors.New("forecast: singular normal equations")
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+func tail(xs []float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(xs) {
+		n = len(xs)
+	}
+	return append([]float64(nil), xs[len(xs)-n:]...)
+}
+
+// lastIntegrationState returns, for each differencing level d = 0..D-1,
+// the last value of the d-times-differenced series, which seeds the
+// cumulative sums that undo differencing.
+func lastIntegrationState(series []float64, d int) []float64 {
+	out := make([]float64, d)
+	cur := series
+	for level := 0; level < d; level++ {
+		out[level] = cur[len(cur)-1]
+		next := make([]float64, len(cur)-1)
+		for j := 1; j < len(cur); j++ {
+			next[j-1] = cur[j] - cur[j-1]
+		}
+		cur = next
+	}
+	return out
+}

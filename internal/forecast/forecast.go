@@ -1,0 +1,235 @@
+// Package forecast implements the time-series prediction used by HARMONY's
+// workload-prediction module (Section VI): an ARIMA(p,d,q) model fitted
+// with the Hannan–Rissanen two-stage regression, plus simple baselines
+// (naive, moving average, exponential smoothing) and accuracy metrics.
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Predictor is a one-dimensional time-series forecaster.
+type Predictor interface {
+	// Fit estimates model parameters from the series.
+	Fit(series []float64) error
+	// Forecast returns h-step-ahead predictions following the fitted
+	// series. Fit must have been called.
+	Forecast(h int) ([]float64, error)
+}
+
+var (
+	// ErrTooShort is returned when the series is too short for the model.
+	ErrTooShort = errors.New("forecast: series too short")
+	// ErrNotFitted is returned when Forecast is called before Fit.
+	ErrNotFitted = errors.New("forecast: model not fitted")
+	// ErrBadHorizon is returned for non-positive forecast horizons.
+	ErrBadHorizon = errors.New("forecast: horizon must be positive")
+)
+
+// Difference applies d-th order differencing to xs, returning a series of
+// length len(xs)-d. It returns an error when the series is too short.
+func Difference(xs []float64, d int) ([]float64, error) {
+	if d < 0 {
+		return nil, errors.New("forecast: negative differencing order")
+	}
+	cur := append([]float64(nil), xs...)
+	for i := 0; i < d; i++ {
+		if len(cur) < 2 {
+			return nil, ErrTooShort
+		}
+		next := make([]float64, len(cur)-1)
+		for j := 1; j < len(cur); j++ {
+			next[j-1] = cur[j] - cur[j-1]
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Naive predicts the last observed value for every horizon step.
+type Naive struct {
+	last   float64
+	fitted bool
+}
+
+// Fit implements Predictor.
+func (n *Naive) Fit(series []float64) error {
+	if len(series) == 0 {
+		return ErrTooShort
+	}
+	n.last = series[len(series)-1]
+	n.fitted = true
+	return nil
+}
+
+// Forecast implements Predictor.
+func (n *Naive) Forecast(h int) ([]float64, error) {
+	if !n.fitted {
+		return nil, ErrNotFitted
+	}
+	if h <= 0 {
+		return nil, ErrBadHorizon
+	}
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = n.last
+	}
+	return out, nil
+}
+
+// MovingAverage predicts the mean of the last Window observations.
+type MovingAverage struct {
+	Window int
+
+	mean   float64
+	fitted bool
+}
+
+// Fit implements Predictor.
+func (m *MovingAverage) Fit(series []float64) error {
+	w := m.Window
+	if w <= 0 {
+		w = 8
+	}
+	if len(series) == 0 {
+		return ErrTooShort
+	}
+	if w > len(series) {
+		w = len(series)
+	}
+	sum := 0.0
+	for _, x := range series[len(series)-w:] {
+		sum += x
+	}
+	m.mean = sum / float64(w)
+	m.fitted = true
+	return nil
+}
+
+// Forecast implements Predictor.
+func (m *MovingAverage) Forecast(h int) ([]float64, error) {
+	if !m.fitted {
+		return nil, ErrNotFitted
+	}
+	if h <= 0 {
+		return nil, ErrBadHorizon
+	}
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = m.mean
+	}
+	return out, nil
+}
+
+// EWMA predicts with exponentially weighted moving average smoothing.
+type EWMA struct {
+	Alpha float64 // smoothing factor in (0,1]; default 0.3
+
+	level  float64
+	fitted bool
+}
+
+// Fit implements Predictor.
+func (e *EWMA) Fit(series []float64) error {
+	if len(series) == 0 {
+		return ErrTooShort
+	}
+	a := e.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.3
+	}
+	level := series[0]
+	for _, x := range series[1:] {
+		level = a*x + (1-a)*level
+	}
+	e.level = level
+	e.fitted = true
+	return nil
+}
+
+// Forecast implements Predictor.
+func (e *EWMA) Forecast(h int) ([]float64, error) {
+	if !e.fitted {
+		return nil, ErrNotFitted
+	}
+	if h <= 0 {
+		return nil, ErrBadHorizon
+	}
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = e.level
+	}
+	return out, nil
+}
+
+// Metrics holds forecast accuracy measures.
+type Metrics struct {
+	MAE  float64 // mean absolute error
+	RMSE float64 // root mean squared error
+	MAPE float64 // mean absolute percentage error (skips zero actuals)
+}
+
+// Evaluate compares forecasts against actuals.
+func Evaluate(actual, predicted []float64) (Metrics, error) {
+	if len(actual) != len(predicted) {
+		return Metrics{}, fmt.Errorf("forecast: length mismatch %d vs %d", len(actual), len(predicted))
+	}
+	if len(actual) == 0 {
+		return Metrics{}, ErrTooShort
+	}
+	var absSum, sqSum, pctSum float64
+	pctN := 0
+	for i := range actual {
+		d := predicted[i] - actual[i]
+		if d < 0 {
+			d = -d
+		}
+		absSum += d
+		sqSum += d * d
+		if actual[i] != 0 {
+			pct := d / abs(actual[i])
+			pctSum += pct
+			pctN++
+		}
+	}
+	n := float64(len(actual))
+	m := Metrics{
+		MAE:  absSum / n,
+		RMSE: math.Sqrt(sqSum / n),
+	}
+	if pctN > 0 {
+		m.MAPE = pctSum / float64(pctN)
+	}
+	return m, nil
+}
+
+// Backtest performs rolling-origin evaluation: for each position after
+// minTrain, the predictor is fitted on the prefix and asked for a one-step
+// forecast, which is compared with the next actual value.
+func Backtest(p Predictor, series []float64, minTrain int) (Metrics, error) {
+	if minTrain < 1 || minTrain >= len(series) {
+		return Metrics{}, ErrTooShort
+	}
+	var actual, predicted []float64
+	for i := minTrain; i < len(series); i++ {
+		if err := p.Fit(series[:i]); err != nil {
+			return Metrics{}, fmt.Errorf("forecast: backtest fit at %d: %w", i, err)
+		}
+		f, err := p.Forecast(1)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("forecast: backtest forecast at %d: %w", i, err)
+		}
+		actual = append(actual, series[i])
+		predicted = append(predicted, f[0])
+	}
+	return Evaluate(actual, predicted)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,260 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDifference(t *testing.T) {
+	xs := []float64{1, 3, 6, 10}
+	d1, err := Difference(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if d1[i] != want[i] {
+			t.Errorf("d1[%d] = %v, want %v", i, d1[i], want[i])
+		}
+	}
+	d2, err := Difference(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2) != 2 || d2[0] != 1 || d2[1] != 1 {
+		t.Errorf("d2 = %v", d2)
+	}
+	d0, err := Difference(xs, 0)
+	if err != nil || len(d0) != 4 {
+		t.Errorf("d0 = %v, %v", d0, err)
+	}
+	if _, err := Difference([]float64{1}, 1); err == nil {
+		t.Error("short series accepted")
+	}
+	if _, err := Difference(xs, -1); err == nil {
+		t.Error("negative order accepted")
+	}
+}
+
+func TestNaive(t *testing.T) {
+	var n Naive
+	if _, err := n.Forecast(1); err == nil {
+		t.Error("forecast before fit accepted")
+	}
+	if err := n.Fit(nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if err := n.Fit([]float64{1, 2, 7}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := n.Forecast(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range f {
+		if v != 7 {
+			t.Errorf("naive forecast = %v, want 7", v)
+		}
+	}
+	if _, err := n.Forecast(0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	m := MovingAverage{Window: 2}
+	if err := m.Fit([]float64{1, 2, 4, 6}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := m.Forecast(1)
+	if f[0] != 5 {
+		t.Errorf("MA forecast = %v, want 5", f[0])
+	}
+	// Window larger than series uses the whole series.
+	m2 := MovingAverage{Window: 100}
+	if err := m2.Fit([]float64{2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := m2.Forecast(1)
+	if f2[0] != 3 {
+		t.Errorf("MA wide forecast = %v, want 3", f2[0])
+	}
+	var m3 MovingAverage
+	if _, err := m3.Forecast(1); err == nil {
+		t.Error("forecast before fit accepted")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	if err := e.Fit([]float64{0, 4}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := e.Forecast(2)
+	if f[0] != 2 || f[1] != 2 {
+		t.Errorf("EWMA forecast = %v, want [2 2]", f)
+	}
+	// Constant series converges to the constant.
+	e2 := EWMA{}
+	_ = e2.Fit([]float64{5, 5, 5, 5})
+	f2, _ := e2.Forecast(1)
+	if f2[0] != 5 {
+		t.Errorf("EWMA constant = %v", f2[0])
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	m, err := Evaluate([]float64{1, 2, 4}, []float64{1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close2(m.MAE, 1) {
+		t.Errorf("MAE = %v, want 1", m.MAE)
+	}
+	wantRMSE := math.Sqrt((0 + 1 + 4) / 3.0)
+	if !close2(m.RMSE, wantRMSE) {
+		t.Errorf("RMSE = %v, want %v", m.RMSE, wantRMSE)
+	}
+	if _, err := Evaluate([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Evaluate(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestEvaluateMAPESkipsZeros(t *testing.T) {
+	m, err := Evaluate([]float64{0, 10}, []float64{5, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close2(m.MAPE, 0.2) {
+		t.Errorf("MAPE = %v, want 0.2", m.MAPE)
+	}
+}
+
+func close2(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewARIMAValidation(t *testing.T) {
+	if _, err := NewARIMA(-1, 0, 1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := NewARIMA(0, 0, 0); err == nil {
+		t.Error("p+q=0 accepted")
+	}
+	if _, err := NewARIMA(2, 1, 1); err != nil {
+		t.Errorf("valid orders rejected: %v", err)
+	}
+}
+
+func TestARIMATooShort(t *testing.T) {
+	m, _ := NewARIMA(2, 0, 0)
+	if err := m.Fit([]float64{1, 2, 3}); err == nil {
+		t.Error("short series accepted")
+	}
+	if _, err := m.Forecast(1); err == nil {
+		t.Error("forecast before fit accepted")
+	}
+}
+
+// AR(1) process: x_t = 5 + 0.7 x_{t-1} + eps. The fitted AR coefficient
+// must be close to 0.7 and forecasts must head toward the process mean.
+func TestARIMARecoversAR1(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	n := 2000
+	xs := make([]float64, n)
+	xs[0] = 5 / (1 - 0.7)
+	for i := 1; i < n; i++ {
+		xs[i] = 5 + 0.7*xs[i-1] + 0.5*r.NormFloat64()
+	}
+	m, _ := NewARIMA(1, 0, 0)
+	if err := m.Fit(xs); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.ar[0]-0.7) > 0.08 {
+		t.Errorf("AR coefficient = %v, want ~0.7", m.ar[0])
+	}
+	f, err := m.Forecast(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 5 / (1 - 0.7)
+	if math.Abs(f[49]-mean) > 1.5 {
+		t.Errorf("long-run forecast = %v, want ~%v", f[49], mean)
+	}
+}
+
+// A deterministic linear trend is captured by d=1: forecasts continue the
+// trend.
+func TestARIMATrend(t *testing.T) {
+	n := 200
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 3 + 2*float64(i)
+	}
+	m, _ := NewARIMA(1, 1, 0)
+	if err := m.Fit(xs); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Forecast(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range f {
+		want := 3 + 2*float64(n+i)
+		if math.Abs(v-want) > 1 {
+			t.Errorf("f[%d] = %v, want ~%v", i, v, want)
+		}
+	}
+}
+
+// ARMA(1,1) fitting should still beat naive on a strongly autocorrelated
+// series with moving-average noise.
+func TestARIMABeatsNaiveOnSinusoid(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	n := 600
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 50 + 20*math.Sin(2*math.Pi*float64(i)/48) + r.NormFloat64()
+	}
+	m, _ := NewARIMA(3, 0, 1)
+	arima, err := Backtest(m, xs, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Backtest(&Naive{}, xs, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arima.RMSE >= naive.RMSE {
+		t.Errorf("ARIMA RMSE %v >= naive %v", arima.RMSE, naive.RMSE)
+	}
+}
+
+func TestBacktestValidation(t *testing.T) {
+	if _, err := Backtest(&Naive{}, []float64{1, 2}, 0); err == nil {
+		t.Error("minTrain=0 accepted")
+	}
+	if _, err := Backtest(&Naive{}, []float64{1, 2}, 2); err == nil {
+		t.Error("minTrain=len accepted")
+	}
+}
+
+func TestARIMAForecastHorizonValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	m, _ := NewARIMA(1, 0, 1)
+	if err := m.Fit(xs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Forecast(0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := m.Forecast(-2); err == nil {
+		t.Error("negative horizon accepted")
+	}
+}

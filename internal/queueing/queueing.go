@@ -1,0 +1,113 @@
+// Package queueing implements the M/G/c scheduling-delay model of
+// Section VI: the Erlang-C waiting probability (Eq. 2), the M/G/c mean
+// waiting-time approximation (Eq. 1), and the solver that turns a per-class
+// arrival rate, service statistics, and a scheduling-delay SLO into the
+// minimum number of containers (§VI).
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+var (
+	// ErrUnstable is returned when no feasible server count exists
+	// within the solver's cap.
+	ErrUnstable = errors.New("queueing: system unstable within server cap")
+	// ErrBadParam is returned for non-positive rates or delays.
+	ErrBadParam = errors.New("queueing: parameters must be positive")
+)
+
+// ErlangC returns the probability that an arriving task waits in an M/M/c
+// queue with c servers and offered load a = λ/μ (Eq. 2 of the paper). It
+// is computed through the numerically stable Erlang-B recurrence, so it
+// works for thousands of servers without overflow. The result is 1 when
+// the system is saturated (a >= c) and c > 0.
+func ErlangC(c int, a float64) (float64, error) {
+	if c <= 0 {
+		return 0, fmt.Errorf("%w: servers=%d", ErrBadParam, c)
+	}
+	if a < 0 {
+		return 0, fmt.Errorf("%w: load=%v", ErrBadParam, a)
+	}
+	if a == 0 {
+		return 0, nil
+	}
+	rho := a / float64(c)
+	if rho >= 1 {
+		return 1, nil
+	}
+	// Erlang-B recurrence: B(0)=1, B(k) = a B(k-1) / (k + a B(k-1)).
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	// Erlang-C from Erlang-B.
+	return b / (1 - rho*(1-b)), nil
+}
+
+// MGcWait returns the approximate mean waiting time of an M/G/c queue
+// (Eq. 1): W ≈ π/(1-ρ) · (1+CV²)/2 · 1/(cμ), where π is the Erlang-C
+// waiting probability, λ the arrival rate (tasks/s), mu the per-container
+// service rate (1/mean duration), and sqCV the squared coefficient of
+// variation of service times. It returns +Inf when the queue is unstable.
+func MGcWait(c int, lambda, mu, sqCV float64) (float64, error) {
+	if c <= 0 || lambda < 0 || mu <= 0 || sqCV < 0 {
+		return 0, fmt.Errorf("%w: c=%d lambda=%v mu=%v cv2=%v", ErrBadParam, c, lambda, mu, sqCV)
+	}
+	if lambda == 0 {
+		return 0, nil
+	}
+	a := lambda / mu
+	rho := a / float64(c)
+	if rho >= 1 {
+		return math.Inf(1), nil
+	}
+	pi, err := ErlangC(c, a)
+	if err != nil {
+		return 0, err
+	}
+	return pi / (1 - rho) * (1 + sqCV) / 2 / (float64(c) * mu), nil
+}
+
+// maxContainers caps the solver's search; a class needing more than this
+// many containers indicates a unit error upstream.
+const maxContainers = 10_000_000
+
+// MinContainers returns the smallest container count c such that the
+// M/G/c mean waiting time is at most maxDelay seconds and the traffic
+// intensity is strictly below 1. This is the container manager's sizing
+// rule from Section VI.
+func MinContainers(lambda, mu, sqCV, maxDelay float64) (int, error) {
+	if lambda < 0 || mu <= 0 || sqCV < 0 || maxDelay <= 0 {
+		return 0, fmt.Errorf("%w: lambda=%v mu=%v cv2=%v delay=%v",
+			ErrBadParam, lambda, mu, sqCV, maxDelay)
+	}
+	if lambda == 0 {
+		return 0, nil
+	}
+	// Stability requires c > a; start just above and grow. The wait is
+	// strictly decreasing in c, so the first satisfying c is minimal.
+	a := lambda / mu
+	c := int(math.Floor(a)) + 1
+	for ; c <= maxContainers; c++ {
+		w, err := MGcWait(c, lambda, mu, sqCV)
+		if err != nil {
+			return 0, err
+		}
+		if w <= maxDelay {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: lambda=%v mu=%v", ErrUnstable, lambda, mu)
+}
+
+// Utilization returns the traffic intensity ρ = λ/(cμ) of an M/G/c queue,
+// the fraction of container-time that is busy.
+func Utilization(c int, lambda, mu float64) float64 {
+	if c <= 0 || mu <= 0 {
+		return math.Inf(1)
+	}
+	return lambda / (float64(c) * mu)
+}

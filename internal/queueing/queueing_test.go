@@ -1,0 +1,233 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// directErlangC computes Eq. 2 by direct summation, valid for small c.
+func directErlangC(c int, a float64) float64 {
+	rho := a / float64(c)
+	fact := 1.0
+	sum := 0.0
+	for k := 0; k < c; k++ {
+		if k > 0 {
+			fact *= float64(k)
+		}
+		sum += math.Pow(a, float64(k)) / fact
+	}
+	cf := fact * float64(c) // c! = (c-1)! * c
+	top := math.Pow(a, float64(c)) / (cf * (1 - rho))
+	return top / (sum + top)
+}
+
+func TestErlangCValidation(t *testing.T) {
+	if _, err := ErlangC(0, 1); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := ErlangC(1, -1); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// M/M/1 with rho=0.5: waiting probability equals rho.
+	p, err := ErlangC(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(p, 0.5, 1e-12) {
+		t.Errorf("ErlangC(1, 0.5) = %v, want 0.5", p)
+	}
+	// Zero load never waits.
+	p, _ = ErlangC(10, 0)
+	if p != 0 {
+		t.Errorf("ErlangC(10,0) = %v", p)
+	}
+	// Saturated system always waits.
+	p, _ = ErlangC(2, 2)
+	if p != 1 {
+		t.Errorf("ErlangC saturated = %v", p)
+	}
+}
+
+func TestErlangCMatchesDirectSum(t *testing.T) {
+	tests := []struct {
+		c int
+		a float64
+	}{
+		{2, 1.0}, {3, 2.4}, {5, 3.0}, {8, 6.5}, {12, 10.0},
+	}
+	for _, tt := range tests {
+		got, err := ErlangC(tt.c, tt.a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := directErlangC(tt.c, tt.a)
+		if !near(got, want, 1e-9) {
+			t.Errorf("ErlangC(%d, %v) = %v, want %v", tt.c, tt.a, got, want)
+		}
+	}
+}
+
+func TestErlangCLargeNoOverflow(t *testing.T) {
+	p, err := ErlangC(5000, 4900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		t.Errorf("ErlangC(5000, 4900) = %v", p)
+	}
+}
+
+// Property: Erlang-C lies in [0,1] and is monotone decreasing in c.
+func TestErlangCProperties(t *testing.T) {
+	f := func(rawC uint8, rawA float64) bool {
+		c := 1 + int(rawC%50)
+		a := math.Mod(math.Abs(rawA), float64(c)) // keep stable
+		if math.IsNaN(a) {
+			return true
+		}
+		p1, err := ErlangC(c, a)
+		if err != nil || p1 < 0 || p1 > 1 {
+			return false
+		}
+		p2, err := ErlangC(c+1, a)
+		if err != nil {
+			return false
+		}
+		return p2 <= p1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMGcWaitMM1(t *testing.T) {
+	// M/M/1 (CV²=1): W = rho/(mu - lambda) = lambda/(mu(mu-lambda)).
+	lambda, mu := 0.5, 1.0
+	w, err := MGcWait(1, lambda, mu, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lambda / (mu * (mu - lambda))
+	if !near(w, want, 1e-12) {
+		t.Errorf("MM1 wait = %v, want %v", w, want)
+	}
+}
+
+func TestMGcWaitDeterministicHalf(t *testing.T) {
+	// CV²=0 (deterministic service) halves the M/M/c wait.
+	wm, _ := MGcWait(3, 2, 1, 1)
+	wd, _ := MGcWait(3, 2, 1, 0)
+	if !near(wd, wm/2, 1e-12) {
+		t.Errorf("deterministic wait = %v, want %v", wd, wm/2)
+	}
+}
+
+func TestMGcWaitEdges(t *testing.T) {
+	if w, _ := MGcWait(4, 0, 1, 1); w != 0 {
+		t.Errorf("zero arrivals wait = %v", w)
+	}
+	w, _ := MGcWait(1, 2, 1, 1)
+	if !math.IsInf(w, 1) {
+		t.Errorf("unstable wait = %v, want +Inf", w)
+	}
+	if _, err := MGcWait(0, 1, 1, 1); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := MGcWait(1, 1, 0, 1); err == nil {
+		t.Error("mu=0 accepted")
+	}
+	if _, err := MGcWait(1, 1, 1, -1); err == nil {
+		t.Error("negative CV² accepted")
+	}
+}
+
+func TestMinContainersValidation(t *testing.T) {
+	if _, err := MinContainers(1, 0, 1, 1); err == nil {
+		t.Error("mu=0 accepted")
+	}
+	if _, err := MinContainers(1, 1, 1, 0); err == nil {
+		t.Error("zero delay accepted")
+	}
+	if _, err := MinContainers(-1, 1, 1, 1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+func TestMinContainersZeroRate(t *testing.T) {
+	c, err := MinContainers(0, 1, 1, 10)
+	if err != nil || c != 0 {
+		t.Errorf("MinContainers(0) = %d, %v", c, err)
+	}
+}
+
+func TestMinContainersSatisfiesSLO(t *testing.T) {
+	tests := []struct {
+		lambda, mu, cv2, delay float64
+	}{
+		{5, 0.1, 1, 30},
+		{0.5, 1.0 / 300, 2.5, 60},
+		{100, 1, 0.5, 1},
+		{0.01, 1.0 / 86400, 4, 3600},
+	}
+	for _, tt := range tests {
+		c, err := MinContainers(tt.lambda, tt.mu, tt.cv2, tt.delay)
+		if err != nil {
+			t.Fatalf("MinContainers(%+v): %v", tt, err)
+		}
+		w, err := MGcWait(c, tt.lambda, tt.mu, tt.cv2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w > tt.delay {
+			t.Errorf("c=%d gives wait %v > SLO %v", c, w, tt.delay)
+		}
+		if rho := Utilization(c, tt.lambda, tt.mu); rho >= 1 {
+			t.Errorf("c=%d leaves rho=%v >= 1", c, rho)
+		}
+		// Minimality: c-1 must violate the SLO or stability.
+		if c > 1 {
+			wPrev, err := MGcWait(c-1, tt.lambda, tt.mu, tt.cv2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wPrev <= tt.delay {
+				t.Errorf("c=%d not minimal: c-1 wait %v <= %v", c, wPrev, tt.delay)
+			}
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	if got := Utilization(4, 2, 1); !near(got, 0.5, 1e-12) {
+		t.Errorf("Utilization = %v, want 0.5", got)
+	}
+	if got := Utilization(0, 1, 1); !math.IsInf(got, 1) {
+		t.Errorf("Utilization(c=0) = %v, want +Inf", got)
+	}
+}
+
+// Property: MinContainers result is always stable and tight delays demand
+// at least as many containers as loose delays.
+func TestMinContainersMonotoneInSLO(t *testing.T) {
+	f := func(rawL, rawD float64) bool {
+		lambda := math.Mod(math.Abs(rawL), 50) + 0.01
+		dTight := math.Mod(math.Abs(rawD), 100) + 0.1
+		dLoose := dTight * 10
+		mu := 0.05
+		cTight, err1 := MinContainers(lambda, mu, 1, dTight)
+		cLoose, err2 := MinContainers(lambda, mu, 1, dLoose)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return cTight >= cLoose
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,587 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"harmony/internal/classify"
+	"harmony/internal/container"
+	"harmony/internal/core"
+	"harmony/internal/energy"
+	"harmony/internal/forecast"
+	"harmony/internal/queueing"
+	"harmony/internal/sim"
+	"harmony/internal/stats"
+	"harmony/internal/trace"
+	"sort"
+)
+
+// HarmonyConfig wires the full HARMONY pipeline into a sim.Policy.
+type HarmonyConfig struct {
+	Mode core.Mode // CBS or CBP
+
+	Machines []trace.MachineType
+	Models   []energy.Model
+	Types    []classify.TaskType // flattened task types (class × sub-class)
+	Price    energy.Price
+
+	PeriodSeconds float64
+	Horizon       int // MPC look-ahead W (>=1)
+
+	// SLODelay[g] is the target mean scheduling delay (seconds) per
+	// priority group. Zero entries default to sensible values
+	// (production 120s, other 300s, gratis 900s).
+	SLODelay map[trace.PriorityGroup]float64
+	// ValuePerPeriod[g] is the utility earned per scheduled container
+	// per period; zero entries get defaults ordered by priority.
+	ValuePerPeriod map[trace.PriorityGroup]float64
+	// Epsilon is the machine-overflow bound for container sizing
+	// (default 0.05).
+	Epsilon float64
+	// Omega is the over-provisioning factor applied to every container
+	// type (default 1).
+	Omega float64
+	// SwitchCost[m] is the dollar cost of one machine on/off transition.
+	SwitchCost []float64
+	// MinHistory is how many periods of arrival history must accumulate
+	// before ARIMA replaces the EWMA bootstrap predictor (default 24).
+	MinHistory int
+	// ARIMAOrder holds (p,d,q); zero value defaults to (2,0,1).
+	ARIMAOrder [3]int
+	// Predictor selects the forecasting model once MinHistory periods
+	// have accumulated (before that an EWMA bootstrap is used).
+	Predictor PredictorKind
+}
+
+// PredictorKind selects the arrival-rate forecaster.
+type PredictorKind int
+
+// Forecaster choices for HarmonyConfig.Predictor.
+const (
+	// PredictARIMA fits the fixed-order ARIMA of ARIMAOrder (default).
+	PredictARIMA PredictorKind = iota
+	// PredictAutoARIMA selects ARIMA orders by AIC each refit.
+	PredictAutoARIMA
+	// PredictSeasonal uses a daily seasonal-naive forecaster, falling
+	// back to EWMA until a full day of history exists.
+	PredictSeasonal
+	// PredictEWMA uses exponential smoothing only.
+	PredictEWMA
+)
+
+// Harmony is the paper's full pipeline as a simulation policy: it observes
+// per-type arrivals, forecasts rates, converts them to container demands
+// via the M/G/c model, and runs the CBS/CBP controller every period.
+type Harmony struct {
+	cfg        HarmonyConfig
+	ctrl       *core.Controller
+	sizing     []container.Sizing
+	history    [][]float64 // arrival rate per type per elapsed period
+	contSeries map[trace.PriorityGroup]*stats.TimeBinner
+	lastErr    error
+	lastDemand [][]float64
+	lastDec    *core.Decision
+	// pressure[n] counts consecutive periods in which type n had queued
+	// tasks but received no allocation; it escalates the type's utility
+	// so capacity triage cannot starve a class forever (f_n is a delay
+	// cost, and delay cost grows as tasks keep waiting).
+	pressure  []float64
+	baseValue []float64
+	// shortSibling[n] is the index of the short sub-type of n's class
+	// (n itself when n is short); longFrac[n] is the long fraction of
+	// the class population. Arrival rates are always measured on the
+	// short type (everything is labeled short first), so demand
+	// attribution needs both.
+	shortSibling []int
+	longFrac     []float64
+}
+
+// NewHarmony validates the configuration and builds the policy.
+func NewHarmony(cfg HarmonyConfig) (*Harmony, error) {
+	if len(cfg.Machines) == 0 || len(cfg.Models) != len(cfg.Machines) {
+		return nil, errors.New("sched: machines/models mismatch")
+	}
+	if len(cfg.Types) == 0 {
+		return nil, errors.New("sched: no task types")
+	}
+	if cfg.PeriodSeconds <= 0 {
+		return nil, errors.New("sched: period must be positive")
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 2
+	}
+	if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
+		cfg.Epsilon = 0.05
+	}
+	if cfg.Omega < 1 {
+		cfg.Omega = 1
+	}
+	if cfg.MinHistory <= 0 {
+		cfg.MinHistory = 24
+	}
+	if cfg.ARIMAOrder == [3]int{} {
+		cfg.ARIMAOrder = [3]int{2, 0, 1}
+	}
+	if cfg.Price == nil {
+		cfg.Price = energy.FlatPrice(0.08)
+	}
+	if cfg.SLODelay == nil {
+		cfg.SLODelay = map[trace.PriorityGroup]float64{}
+	}
+	fillDefault(cfg.SLODelay, trace.Production, 120)
+	fillDefault(cfg.SLODelay, trace.Other, 300)
+	fillDefault(cfg.SLODelay, trace.Gratis, 900)
+	if cfg.ValuePerPeriod == nil {
+		cfg.ValuePerPeriod = map[trace.PriorityGroup]float64{}
+	}
+	fillDefault(cfg.ValuePerPeriod, trace.Production, 1.0)
+	fillDefault(cfg.ValuePerPeriod, trace.Other, 0.1)
+	fillDefault(cfg.ValuePerPeriod, trace.Gratis, 0.01)
+
+	h := &Harmony{
+		cfg:        cfg,
+		history:    make([][]float64, len(cfg.Types)),
+		contSeries: map[trace.PriorityGroup]*stats.TimeBinner{},
+	}
+	for _, g := range trace.Groups() {
+		b, err := stats.NewTimeBinner(cfg.PeriodSeconds)
+		if err != nil {
+			return nil, err
+		}
+		h.contSeries[g] = b
+	}
+
+	// Container sizing per task type (Eq. 3).
+	cpuCaps := capacityCatalog(cfg.Machines, func(m trace.MachineType) float64 { return m.CPU })
+	memCaps := capacityCatalog(cfg.Machines, func(m trace.MachineType) float64 { return m.Mem })
+	h.sizing = make([]container.Sizing, len(cfg.Types))
+	containers := make([]core.ContainerSpec, len(cfg.Types))
+	epsR, err := container.PerResourceBound(cfg.Epsilon, 2)
+	if err != nil {
+		return nil, fmt.Errorf("sched: epsilon: %w", err)
+	}
+	qi := quantileIndex(1 - epsR)
+	for i, tt := range cfg.Types {
+		s, err := container.ForClass(tt.CPU, tt.CPUStd, tt.Mem, tt.MemStd, cfg.Epsilon)
+		if err != nil {
+			return nil, fmt.Errorf("sched: sizing type %d: %w", i, err)
+		}
+		// The Gaussian size overshoots badly on skewed classes; the
+		// empirical class quantile gives the same per-task coverage
+		// directly, so take the smaller of the two (floored at the
+		// class mean so the container still fits a typical task).
+		if q := tt.CPUQuantiles[qi]; q > 0 && q < s.CPU {
+			s.CPU = math.Max(q, tt.CPU)
+		}
+		if q := tt.MemQuantiles[qi]; q > 0 && q < s.Mem {
+			s.Mem = math.Max(q, tt.Mem)
+		}
+		// Align reservations with the machine catalog: a reservation
+		// that barely exceeds a machine-size boundary (after ω) would
+		// exile the whole class to the few next-larger machines, so it
+		// is snapped down to the boundary at slightly increased
+		// overflow risk. Oversized reservations shrink to the largest
+		// machine, or the class could never be placed at all.
+		s.CPU = snapToCatalog(s.CPU, cpuCaps, cfg.Omega, catalogSnapTolerance)
+		s.Mem = snapToCatalog(s.Mem, memCaps, cfg.Omega, catalogSnapTolerance)
+		if lim := cpuCaps[0] / cfg.Omega; s.CPU > lim {
+			s.CPU = lim
+		}
+		if lim := memCaps[0] / cfg.Omega; s.Mem > lim {
+			s.Mem = lim
+		}
+		h.sizing[i] = s
+		// A container's utility per period scales with the work it
+		// delivers: the tasks it serves per period (a slot for
+		// 20-second tasks turns over ~15 tasks per 5-minute period)
+		// times the resources each occupies. Without the turnover term
+		// the LP starves short-task classes; without the size term the
+		// value-per-resource auction starves large-container classes
+		// regardless of priority.
+		turnover := cfg.PeriodSeconds / tt.MeanDuration
+		if turnover < 1 {
+			turnover = 1
+		}
+		const refSize = 0.05 // container size earning exactly the group value
+		sizeFactor := (s.CPU + s.Mem) / (2 * refSize)
+		containers[i] = core.ContainerSpec{
+			Type:  i,
+			CPU:   s.CPU,
+			Mem:   s.Mem,
+			Value: cfg.ValuePerPeriod[tt.Group] * turnover * sizeFactor,
+			Omega: cfg.Omega,
+		}
+	}
+
+	machines := make([]core.MachineSpec, len(cfg.Machines))
+	for i, mt := range cfg.Machines {
+		sw := 0.0
+		if cfg.SwitchCost != nil && i < len(cfg.SwitchCost) {
+			sw = cfg.SwitchCost[i]
+		}
+		machines[i] = core.MachineSpec{
+			Type:       mt.ID,
+			CPU:        mt.CPU,
+			Mem:        mt.Mem,
+			Available:  mt.Count,
+			IdleWatts:  cfg.Models[i].IdleWatts,
+			AlphaCPU:   cfg.Models[i].AlphaCPU,
+			AlphaMem:   cfg.Models[i].AlphaMem,
+			SwitchCost: sw,
+		}
+	}
+	h.ctrl = &core.Controller{
+		Machines:      machines,
+		Containers:    containers,
+		PeriodSeconds: cfg.PeriodSeconds,
+		Horizon:       cfg.Horizon,
+		Mode:          cfg.Mode,
+	}
+	h.pressure = make([]float64, len(containers))
+	h.baseValue = make([]float64, len(containers))
+	for i, c := range containers {
+		h.baseValue[i] = c.Value
+	}
+
+	// Sibling bookkeeping for demand attribution.
+	shortOfClass := make(map[int]int)
+	classCount := make(map[int]int)
+	for i, tt := range cfg.Types {
+		classCount[tt.ID.Class] += tt.Count
+		if tt.ID.Sub == 0 {
+			shortOfClass[tt.ID.Class] = i
+		}
+	}
+	h.shortSibling = make([]int, len(cfg.Types))
+	h.longFrac = make([]float64, len(cfg.Types))
+	for i, tt := range cfg.Types {
+		if si, ok := shortOfClass[tt.ID.Class]; ok {
+			h.shortSibling[i] = si
+		} else {
+			h.shortSibling[i] = i
+		}
+		long := 0
+		for j, o := range cfg.Types {
+			if o.ID.Class == tt.ID.Class && o.ID.Sub > 0 {
+				long += cfg.Types[j].Count
+			}
+		}
+		if total := classCount[tt.ID.Class]; total > 0 {
+			h.longFrac[i] = float64(long) / float64(total)
+		}
+	}
+	return h, nil
+}
+
+func fillDefault(m map[trace.PriorityGroup]float64, g trace.PriorityGroup, v float64) {
+	if m[g] == 0 {
+		m[g] = v
+	}
+}
+
+// quantileIndex returns the index into classify.QuantileProbs of the
+// smallest recorded probability covering the target, or the last index.
+func quantileIndex(target float64) int {
+	for i, p := range classify.QuantileProbs {
+		if p >= target {
+			return i
+		}
+	}
+	return len(classify.QuantileProbs) - 1
+}
+
+// catalogSnapTolerance is how far (multiplicatively) a reservation may
+// exceed a machine-size boundary and still be snapped down to it.
+const catalogSnapTolerance = 1.4
+
+// maxPressure caps the starvation escalation multiplier.
+const maxPressure = 512
+
+// quotaSlack relaxes emitted per-type quotas above the plan so the
+// scheduler can absorb within-period arrival surprises (Algorithm 1's
+// "free to schedule additional containers").
+const quotaSlack = 1.5
+
+// capacityCatalog returns the distinct per-resource machine capacities in
+// descending order.
+func capacityCatalog(machines []trace.MachineType, get func(trace.MachineType) float64) []float64 {
+	seen := make(map[float64]bool, len(machines))
+	var caps []float64
+	for _, m := range machines {
+		v := get(m)
+		if !seen[v] {
+			seen[v] = true
+			caps = append(caps, v)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(caps)))
+	return caps
+}
+
+// snapToCatalog shrinks a reservation whose ω-inflated size barely exceeds
+// a machine-capacity boundary down to that boundary, so the container can
+// be hosted by the (usually much larger) population of smaller machines.
+func snapToCatalog(c float64, caps []float64, omega, tolerance float64) float64 {
+	eff := omega * c
+	for _, cap := range caps {
+		if eff > cap && eff <= cap*tolerance {
+			return cap / omega
+		}
+	}
+	return c
+}
+
+// Name implements sim.Policy.
+func (h *Harmony) Name() string { return "harmony-" + h.cfg.Mode.String() }
+
+// Err returns the last internal error encountered during a period (the
+// policy degrades to keeping its previous decision rather than crashing
+// the simulation).
+func (h *Harmony) Err() error { return h.lastErr }
+
+// ContainerSeries returns the total containers provisioned per priority
+// group over time (Figure 20).
+func (h *Harmony) ContainerSeries() map[trace.PriorityGroup]stats.Series {
+	out := make(map[trace.PriorityGroup]stats.Series, trace.NumGroups)
+	for g, b := range h.contSeries {
+		out[g] = b.Series("containers " + g.String())
+	}
+	return out
+}
+
+// Sizing returns the per-type container reservations.
+func (h *Harmony) Sizing() []container.Sizing { return h.sizing }
+
+// LastDemand returns the per-type container demand matrix of the most
+// recent period (for observability and tests).
+func (h *Harmony) LastDemand() [][]float64 { return h.lastDemand }
+
+// LastDecision returns the most recent controller decision.
+func (h *Harmony) LastDecision() *core.Decision { return h.lastDec }
+
+// Period implements sim.Policy: record arrivals, forecast, size container
+// demand, and run one MPC step.
+func (h *Harmony) Period(obs *sim.Observation) sim.Directive {
+	// Record this period's arrival rates.
+	for n := range h.cfg.Types {
+		rate := 0.0
+		if n < len(obs.Arrivals) {
+			rate = float64(obs.Arrivals[n]) / h.cfg.PeriodSeconds
+		}
+		h.history[n] = append(h.history[n], rate)
+	}
+
+	demand, err := h.containerDemand(obs)
+	if err != nil {
+		h.lastErr = err
+		return sim.Directive{} // keep current machine state
+	}
+	price := make([]float64, h.cfg.Horizon)
+	for t := 0; t < h.cfg.Horizon; t++ {
+		price[t] = h.cfg.Price.At(obs.Time + float64(t)*h.cfg.PeriodSeconds)
+	}
+	initial := make([]float64, len(obs.Active))
+	for i, a := range obs.Active {
+		initial[i] = float64(a)
+	}
+	// Escalate the utility of types whose queues were starved by
+	// earlier triage: each starved period doubles the pressure term.
+	for n := range h.ctrl.Containers {
+		h.ctrl.Containers[n].Value = h.baseValue[n] * (1 + h.pressure[n])
+	}
+	dec, err := h.ctrl.Step(initial, demand, price)
+	if err != nil {
+		h.lastErr = err
+		return sim.Directive{}
+	}
+	h.lastDemand = demand
+	h.lastDec = dec
+	for n := range h.ctrl.Containers {
+		alloc := 0
+		for m := range h.cfg.Machines {
+			alloc += dec.Quota[m][n]
+		}
+		if n < len(obs.Queued) && obs.Queued[n] > 0 && alloc == 0 {
+			if h.pressure[n] == 0 {
+				h.pressure[n] = 1
+			} else {
+				h.pressure[n] *= 2
+			}
+			if h.pressure[n] > maxPressure {
+				h.pressure[n] = maxPressure
+			}
+		} else {
+			// Decay rather than reset: a single winning period should
+			// not send a contested class back to the end of the line.
+			h.pressure[n] /= 2
+			if h.pressure[n] < 1 {
+				h.pressure[n] = 0
+			}
+		}
+	}
+
+	// Figure 20 bookkeeping: containers provisioned per group.
+	for n, tt := range h.cfg.Types {
+		total := 0.0
+		for m := range h.cfg.Machines {
+			total += float64(dec.Quota[m][n])
+		}
+		h.contSeries[tt.Group].Observe(obs.Time, total)
+	}
+
+	// Quotas are guidance, not straitjackets: Algorithm 1 lets the
+	// scheduler place additional containers beyond the packed set as
+	// long as capacity allows, and within-period arrival surprises must
+	// not stall on a stale plan. Machine counts remain the energy
+	// control; the slack only relaxes the per-type mix.
+	quota := make([][]int, len(dec.Quota))
+	for m := range dec.Quota {
+		quota[m] = make([]int, len(dec.Quota[m]))
+		for n, q := range dec.Quota[m] {
+			quota[m][n] = int(math.Ceil(float64(q)*quotaSlack)) + 1
+		}
+	}
+	dir := sim.Directive{
+		TargetActive: dec.ActiveMachines,
+		Quota:        quota,
+		BestFit:      true,
+	}
+	if h.cfg.Mode == core.CBS {
+		// CBS schedules into container reservations.
+		dir.ReserveCPU = make([]float64, len(h.sizing))
+		dir.ReserveMem = make([]float64, len(h.sizing))
+		for i, s := range h.sizing {
+			dir.ReserveCPU[i] = s.CPU
+			dir.ReserveMem[i] = s.Mem
+		}
+	}
+	return dir
+}
+
+// containerDemand converts forecast arrival rates into per-type container
+// counts over the horizon via the M/G/c model, floored by what is already
+// running or queued right now (period 0 only).
+//
+// Arrival attribution follows the paper's label-short-first scheme: every
+// task of a class arrives labeled short, so the measured rate on the short
+// type is the whole class's rate. The long sub-type receives its share
+// (the class's long fraction) of that rate, and the short sub-type is
+// additionally charged for the slots that soon-to-be-relabeled long tasks
+// pin for up to one control period.
+func (h *Harmony) containerDemand(obs *sim.Observation) ([][]float64, error) {
+	demand := make([][]float64, len(h.cfg.Types))
+	for n, tt := range h.cfg.Types {
+		rates, err := h.forecastRates(h.shortSibling[n])
+		if err != nil {
+			return nil, err
+		}
+		pLong := h.longFrac[n]
+		mu := 1 / tt.MeanDuration
+		slo := h.cfg.SLODelay[tt.Group]
+		row := make([]float64, h.cfg.Horizon)
+		for t := 0; t < h.cfg.Horizon; t++ {
+			lambda := rates[t]
+			pinned := 0.0
+			if tt.ID.Sub == 0 {
+				lambda *= 1 - pLong
+				// Mislabeled long tasks hold short slots until the
+				// next relabel pass (half a period on average).
+				pinned = rates[t] * pLong * h.cfg.PeriodSeconds / 2
+			} else {
+				// Long tasks spend up to one period mislabeled short
+				// before relabeling moves them here; only the residual
+				// life occupies this sub-type's containers, and tasks
+				// shorter than a period never arrive at all.
+				lambda *= pLong
+				residual := 1 - h.cfg.PeriodSeconds/tt.MeanDuration
+				if residual < 0 {
+					residual = 0
+				}
+				lambda *= residual
+			}
+			c, err := queueing.MinContainers(lambda, mu, tt.SqCV, slo)
+			if err != nil {
+				return nil, fmt.Errorf("sched: containers for type %d: %w", n, err)
+			}
+			row[t] = float64(c) + math.Ceil(pinned)
+		}
+		// Do not plan below the live load: running tasks hold their
+		// containers, and the backlog needs extra slots to drain. A
+		// queue of Q tasks with duration D drains within one period of
+		// length T using ceil(Q·D/T) concurrent containers (at most Q).
+		if n < len(obs.Running) && n < len(obs.Queued) {
+			base := row[0]
+			if live := float64(obs.Running[n]); live > base {
+				base = live
+			}
+			window := h.cfg.SLODelay[tt.Group]
+			if window > h.cfg.PeriodSeconds {
+				window = h.cfg.PeriodSeconds
+			}
+			if window <= 0 {
+				window = h.cfg.PeriodSeconds
+			}
+			drain := float64(obs.Queued[n]) * tt.MeanDuration / window
+			if q := float64(obs.Queued[n]); drain > q {
+				drain = q
+			}
+			row[0] = base + math.Ceil(drain)
+		}
+		demand[n] = row
+	}
+	return demand, nil
+}
+
+// forecastRates predicts the next Horizon arrival rates for type n. Before
+// MinHistory periods accumulate it uses EWMA over whatever exists; after
+// that it fits the configured ARIMA model, falling back to EWMA when the
+// fit degenerates.
+func (h *Harmony) forecastRates(n int) ([]float64, error) {
+	hist := h.history[n]
+	w := h.cfg.Horizon
+	if len(hist) == 0 {
+		return make([]float64, w), nil
+	}
+	var pred forecast.Predictor
+	if len(hist) >= h.cfg.MinHistory {
+		switch h.cfg.Predictor {
+		case PredictAutoARIMA:
+			a := &forecast.AutoARIMA{}
+			if err := a.Fit(hist); err == nil {
+				pred = a
+			}
+		case PredictSeasonal:
+			season := int(trace.Day / h.cfg.PeriodSeconds)
+			sn := &forecast.SeasonalNaive{Season: season}
+			if err := sn.Fit(hist); err == nil {
+				pred = sn
+			}
+		case PredictEWMA:
+			// handled by the fallback below
+		default:
+			if ar, err := forecast.NewARIMA(h.cfg.ARIMAOrder[0], h.cfg.ARIMAOrder[1], h.cfg.ARIMAOrder[2]); err == nil {
+				if err := ar.Fit(hist); err == nil {
+					pred = ar
+				}
+			}
+		}
+	}
+	if pred == nil {
+		e := &forecast.EWMA{Alpha: 0.4}
+		if err := e.Fit(hist); err != nil {
+			return nil, err
+		}
+		pred = e
+	}
+	rates, err := pred.Forecast(w)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rates {
+		if r < 0 || math.IsNaN(r) {
+			rates[i] = 0
+		}
+	}
+	return rates, nil
+}

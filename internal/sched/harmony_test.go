@@ -1,0 +1,254 @@
+package sched
+
+import (
+	"testing"
+
+	"harmony/internal/classify"
+	"harmony/internal/core"
+	"harmony/internal/energy"
+	"harmony/internal/sim"
+	"harmony/internal/trace"
+)
+
+// scaledTableII returns the Table II cluster divided by factor.
+func scaledTableII(factor int) ([]trace.MachineType, []energy.Model) {
+	models := energy.TableII()
+	machines := make([]trace.MachineType, len(models))
+	for i := range models {
+		models[i].Count /= factor
+		if models[i].Count < 1 {
+			models[i].Count = 1
+		}
+		machines[i] = models[i].MachineType(i + 1)
+	}
+	return machines, models
+}
+
+func testTypes() []classify.TaskType {
+	return []classify.TaskType{
+		{ID: classify.TypeID{Class: 0, Sub: 0}, Group: trace.Gratis,
+			CPU: 0.01, Mem: 0.01, CPUStd: 0.004, MemStd: 0.004,
+			MeanDuration: 60, SqCV: 1.2, Count: 100},
+		{ID: classify.TypeID{Class: 1, Sub: 0}, Group: trace.Other,
+			CPU: 0.05, Mem: 0.04, CPUStd: 0.02, MemStd: 0.02,
+			MeanDuration: 120, SqCV: 1.5, Count: 80},
+		{ID: classify.TypeID{Class: 2, Sub: 1}, Group: trace.Production,
+			CPU: 0.2, Mem: 0.15, CPUStd: 0.05, MemStd: 0.05,
+			MeanDuration: 7200, SqCV: 0.8, Count: 20},
+	}
+}
+
+func testHarmonyConfig(mode core.Mode) HarmonyConfig {
+	machines, models := scaledTableII(100)
+	return HarmonyConfig{
+		Mode:          mode,
+		Machines:      machines,
+		Models:        models,
+		Types:         testTypes(),
+		PeriodSeconds: 300,
+		Horizon:       2,
+	}
+}
+
+func TestNewHarmonyValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*HarmonyConfig)
+	}{
+		{"no machines", func(c *HarmonyConfig) { c.Machines = nil }},
+		{"model mismatch", func(c *HarmonyConfig) { c.Models = c.Models[:1] }},
+		{"no types", func(c *HarmonyConfig) { c.Types = nil }},
+		{"zero period", func(c *HarmonyConfig) { c.PeriodSeconds = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testHarmonyConfig(core.CBS)
+			tt.mutate(&cfg)
+			if _, err := NewHarmony(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestNewHarmonyDefaults(t *testing.T) {
+	h, err := NewHarmony(testHarmonyConfig(core.CBS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() != "harmony-CBS" {
+		t.Errorf("name = %q", h.Name())
+	}
+	if h.cfg.SLODelay[trace.Production] != 120 {
+		t.Errorf("production SLO default = %v", h.cfg.SLODelay[trace.Production])
+	}
+	if h.cfg.ValuePerPeriod[trace.Gratis] != 0.01 {
+		t.Errorf("gratis value default = %v", h.cfg.ValuePerPeriod[trace.Gratis])
+	}
+	sz := h.Sizing()
+	if len(sz) != 3 {
+		t.Fatalf("sizings = %d", len(sz))
+	}
+	for i, s := range sz {
+		tt := h.cfg.Types[i]
+		if s.CPU < tt.CPU || s.Mem < tt.Mem {
+			t.Errorf("sizing %d below mean: %+v vs %v/%v", i, s, tt.CPU, tt.Mem)
+		}
+	}
+}
+
+func TestHarmonyPeriodZeroArrivals(t *testing.T) {
+	h, err := NewHarmony(testHarmonyConfig(core.CBS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &sim.Observation{
+		Arrivals: make([]int, 3),
+		Queued:   make([]int, 3),
+		Running:  make([]int, 3),
+		Active:   make([]int, 4),
+		Price:    0.08,
+	}
+	dir := h.Period(obs)
+	if h.Err() != nil {
+		t.Fatalf("policy error: %v", h.Err())
+	}
+	// Zero arrivals, zero backlog: no machines needed.
+	for m, a := range dir.TargetActive {
+		if a != 0 {
+			t.Errorf("type %d active = %d with no demand", m, a)
+		}
+	}
+}
+
+func TestHarmonyPeriodProvisionsForLoad(t *testing.T) {
+	for _, mode := range []core.Mode{core.CBS, core.CBP} {
+		h, err := NewHarmony(testHarmonyConfig(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs := &sim.Observation{
+			Arrivals: []int{300, 120, 10}, // tasks in the last 300 s
+			Queued:   []int{5, 2, 1},
+			Running:  []int{20, 10, 4},
+			Active:   make([]int, 4),
+			Price:    0.08,
+		}
+		dir := h.Period(obs)
+		if h.Err() != nil {
+			t.Fatalf("%v: policy error: %v", mode, h.Err())
+		}
+		total := 0
+		for _, a := range dir.TargetActive {
+			total += a
+		}
+		if total == 0 {
+			t.Errorf("%v: no machines provisioned under load", mode)
+		}
+		if dir.Quota == nil {
+			t.Errorf("%v: no quotas emitted", mode)
+		}
+		if mode == core.CBS && dir.ReserveCPU == nil {
+			t.Error("CBS: no container reservations")
+		}
+		if mode == core.CBP && dir.ReserveCPU != nil {
+			t.Error("CBP: unexpected reservations")
+		}
+	}
+}
+
+func TestHarmonyContainerSeriesAccumulates(t *testing.T) {
+	h, err := NewHarmony(testHarmonyConfig(core.CBP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &sim.Observation{
+		Arrivals: []int{100, 50, 5},
+		Queued:   make([]int, 3),
+		Running:  make([]int, 3),
+		Active:   make([]int, 4),
+		Price:    0.08,
+	}
+	h.Period(obs)
+	obs2 := *obs
+	obs2.Time = 300
+	h.Period(&obs2)
+	series := h.ContainerSeries()
+	if len(series) != trace.NumGroups {
+		t.Fatalf("series groups = %d", len(series))
+	}
+	gratis := series[trace.Gratis]
+	if len(gratis.Points) < 2 {
+		t.Fatalf("gratis points = %d", len(gratis.Points))
+	}
+	// With 100 arrivals/period of 60s tasks there must be containers.
+	if gratis.Points[1].Y <= 0 {
+		t.Errorf("no gratis containers recorded: %+v", gratis.Points)
+	}
+}
+
+// End-to-end smoke test: the full pipeline drives a simulation without
+// internal errors and schedules the bulk of the workload.
+func TestHarmonyEndToEnd(t *testing.T) {
+	machines, models := scaledTableII(100) // 70/15/10/5 machines
+	genCfg := trace.DefaultConfig(9)
+	genCfg.Horizon = 2 * trace.Hour
+	genCfg.RatePerS = 0.3
+	genCfg.Machines = machines
+	tr, err := trace.Generate(genCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := classify.Characterize(tr, classify.Config{Seed: 4, MaxK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := ch.TaskTypes()
+	labeler := classify.NewLabeler(ch)
+	typeIdx := make(map[classify.TypeID]int, len(types))
+	for i, tt := range types {
+		typeIdx[tt.ID] = i
+	}
+
+	for _, mode := range []core.Mode{core.CBS, core.CBP} {
+		h, err := NewHarmony(HarmonyConfig{
+			Mode:          mode,
+			Machines:      machines,
+			Models:        models,
+			Types:         types,
+			PeriodSeconds: 300,
+			Horizon:       2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Trace:    tr,
+			Models:   models,
+			Price:    energy.FlatPrice(0.08),
+			Policy:   h,
+			Period:   300,
+			NumTypes: len(types),
+			TypeOf: func(task trace.Task) int {
+				id, ok := labeler.Initial(task)
+				if !ok {
+					return 0
+				}
+				return typeIdx[id]
+			},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if h.Err() != nil {
+			t.Fatalf("%v: policy error: %v", mode, h.Err())
+		}
+		frac := float64(res.Scheduled) / float64(len(tr.Tasks))
+		if frac < 0.85 {
+			t.Errorf("%v: only %.1f%% of tasks scheduled", mode, frac*100)
+		}
+		if res.EnergyKWh <= 0 {
+			t.Errorf("%v: no energy recorded", mode)
+		}
+	}
+}

@@ -1,0 +1,836 @@
+// Package sim is a discrete-event cluster simulator: machines with
+// heterogeneous capacities and power curves execute a task trace under a
+// pluggable provisioning policy. It measures everything the paper's
+// evaluation reports — per-priority scheduling-delay CDFs, active-machine
+// series, and total energy/cost — and is the substrate for Figures 3-4 and
+// 19-26.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"harmony/internal/energy"
+	"harmony/internal/stats"
+	"harmony/internal/trace"
+)
+
+// Directive is a policy's decision for one control period.
+type Directive struct {
+	// TargetActive[m] is the desired number of powered machines per
+	// machine type. Values are clamped to [0, available]; machines
+	// currently running tasks are never powered off.
+	TargetActive []int
+	// Quota[m][n], when non-nil, caps the number of type-n tasks
+	// concurrently running on type-m machines (the x^{mn}_t limits).
+	Quota [][]int
+	// ReserveCPU/ReserveMem, when non-nil, give per-task-type container
+	// reservations: a task occupies max(task demand, reservation) on its
+	// machine. This is how CBS's container-based scheduling is realized.
+	ReserveCPU []float64
+	ReserveMem []float64
+	// BestFit selects best-fit placement within a machine type instead
+	// of the default legacy first-fit. The HARMONY policies coordinate
+	// with the scheduler and request it; the oblivious baseline keeps
+	// the cluster's legacy first-fit.
+	BestFit bool
+}
+
+// Observation is the state snapshot handed to a policy at each period.
+type Observation struct {
+	Time        float64
+	PeriodIndex int
+	// Arrivals[n] counts type-n tasks that arrived during the last period.
+	Arrivals []int
+	// Queued[n] counts type-n tasks currently waiting.
+	Queued []int
+	// Running[n] counts type-n tasks currently executing.
+	Running []int
+	// QueuedDemandCPU/Mem are the total resource demands of the queue.
+	QueuedDemandCPU, QueuedDemandMem float64
+	// RunningDemandCPU/Mem are the total demands of executing tasks.
+	RunningDemandCPU, RunningDemandMem float64
+	// Active[m] is the number of powered machines per machine type.
+	Active []int
+	// Price is the current electricity price ($/kWh).
+	Price float64
+}
+
+// Policy decides machine counts (and optionally quotas) each period.
+type Policy interface {
+	Name() string
+	Period(obs *Observation) Directive
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Trace  *trace.Trace
+	Models []energy.Model // one per machine type, same order as Trace.Machines
+	Price  energy.Price
+	Policy Policy
+	Period float64 // control-period length in seconds
+	// NumTypes and TypeOf map tasks to dense task-type indices for
+	// quota accounting and per-type arrival statistics.
+	NumTypes int
+	TypeOf   func(trace.Task) int
+	// SwitchCost[m] is the dollar cost per on/off transition of a
+	// type-m machine. Optional.
+	SwitchCost []float64
+	// InitialActive[m] optionally sets how many machines per type start
+	// powered on. Nil starts with everything off.
+	InitialActive []int
+	// BootDelay is how long a powered-on machine takes before it can
+	// accept tasks (seconds). It draws idle power while booting. 0 means
+	// instant boot.
+	BootDelay float64
+	// MTBFHours, when positive, injects machine failures: each powered
+	// machine fails independently with the matching per-period
+	// probability. A failed machine kills its running tasks (they are
+	// requeued and restart from scratch) and stays unavailable for
+	// RepairSeconds.
+	MTBFHours float64
+	// RepairSeconds is how long a failed machine stays down (default 900).
+	RepairSeconds float64
+	// FailureSeed seeds the failure process (default 1).
+	FailureSeed int64
+	// Relabel, when non-nil, is called at each period boundary for every
+	// running task with its current type and age (seconds since start);
+	// the returned type replaces the current one. This realizes the
+	// paper's short-first labeling: tasks that outlive their short
+	// sub-class boundary are upgraded to the long sub-class, so quota
+	// and demand accounting track reality.
+	Relabel func(current int, age float64) int
+	// FailBudgetPerQueue bounds how many placement failures are
+	// tolerated per task-type queue in one scheduling pass before the
+	// rest of that queue is skipped (0 = default 64). It models a
+	// scheduler that skips currently-unschedulable tasks rather than
+	// blocking on them.
+	FailBudgetPerQueue int
+}
+
+// Result aggregates everything measured during a run.
+type Result struct {
+	Policy string
+
+	// DelayByGroup holds the scheduling-delay CDF per priority group
+	// (Figure 4 and Figures 23-25).
+	DelayByGroup map[trace.PriorityGroup]*stats.CDF
+	// ActiveSeries is the total powered machines at each period start
+	// (Figures 21-22).
+	ActiveSeries stats.Series
+	// ActiveByType[m] is the per-type powered count at each period.
+	ActiveByType []stats.Series
+	// UsedSeries is the number of machines running at least one task at
+	// each period start (Figure 3's "used" curve).
+	UsedSeries stats.Series
+	// QueueSeries is the queue length at each period start.
+	QueueSeries stats.Series
+
+	EnergyKWh    float64
+	EnergyCost   float64 // dollars (Eq. 7 integrated over the run)
+	SwitchCost   float64 // dollars
+	SwitchEvents int
+
+	// Failures counts injected machine failures; TasksKilled counts the
+	// task executions they aborted (the tasks requeue and restart).
+	Failures    int
+	TasksKilled int
+
+	Scheduled   int // tasks that started execution
+	Unscheduled int // tasks still queued when the horizon ended
+	Completed   int
+}
+
+// MeanDelay returns the mean scheduling delay of a group, or 0.
+func (r *Result) MeanDelay(g trace.PriorityGroup) float64 {
+	c := r.DelayByGroup[g]
+	if c == nil || c.Len() == 0 {
+		return 0
+	}
+	// Mean over quantiles is exact for an empirical CDF sampled at its
+	// own points; use the underlying points via Quantile at k/n.
+	n := c.Len()
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += c.Quantile(float64(i) / float64(n))
+	}
+	return sum / float64(n)
+}
+
+type machine struct {
+	id      int
+	typeIdx int
+	on      bool
+	readyAt float64 // machine accepts tasks from this time (boot delay)
+	downTil float64 // failed machine is unavailable until this time
+	epoch   int     // incremented on failure to invalidate heap entries
+	usedCPU float64
+	usedMem float64
+	tasks   int
+}
+
+type runningTask struct {
+	finish   float64
+	start    float64
+	machine  int
+	epoch    int // machine epoch at placement; stale entries are ignored
+	taskType int
+	group    trace.PriorityGroup
+	task     trace.Task
+	cpu, mem float64 // reserved amounts on the machine
+}
+
+type finishHeap []runningTask
+
+func (h finishHeap) Len() int            { return len(h) }
+func (h finishHeap) Less(i, j int) bool  { return h[i].finish < h[j].finish }
+func (h finishHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *finishHeap) Push(x interface{}) { *h = append(*h, x.(runningTask)) }
+func (h *finishHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type pendingTask struct {
+	task     trace.Task
+	taskType int
+}
+
+// engine is the mutable simulation state.
+type engine struct {
+	cfg Config
+
+	machines []machine
+	byType   [][]int // machine indices per type
+	active   []int   // powered count per type
+
+	// pending[group][taskType] is a FIFO queue; scheduling scans groups
+	// in descending priority, then types, so a stuck type cannot block
+	// the others.
+	pending                [trace.NumGroups][][]pendingTask
+	pendingCount           int
+	running                finishHeap
+	quota                  [][]int // current directive quotas (nil = unlimited)
+	bestFit                bool
+	occupancy              [][]int // running tasks per (machineType, taskType)
+	reserveCPU, reserveMem []float64
+
+	arrivals []int // per type, this period
+	runningN []int // per type
+
+	now        float64
+	lastEnergy float64 // time up to which energy is integrated
+	sumUsedCPU []float64
+	sumUsedMem []float64
+	usedCount  int // machines with at least one running task
+
+	failRand *rand.Rand
+
+	// freeCPUBound/freeMemBound[m] are upper bounds on the largest free
+	// CPU/memory of any powered type-m machine, used to prune placement
+	// scans. They are tightened to exact values whenever a scan fails.
+	freeCPUBound []float64
+	freeMemBound []float64
+
+	res *Result
+}
+
+// Run executes the simulation and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	if err := validateConfig(&cfg); err != nil {
+		return nil, err
+	}
+	e := newEngine(cfg)
+	e.run()
+	return e.res, nil
+}
+
+func validateConfig(cfg *Config) error {
+	if cfg.Trace == nil || len(cfg.Trace.Machines) == 0 {
+		return errors.New("sim: missing trace or machines")
+	}
+	if len(cfg.Models) != len(cfg.Trace.Machines) {
+		return fmt.Errorf("sim: %d energy models for %d machine types",
+			len(cfg.Models), len(cfg.Trace.Machines))
+	}
+	if cfg.Price == nil {
+		return errors.New("sim: missing price")
+	}
+	if cfg.Policy == nil {
+		return errors.New("sim: missing policy")
+	}
+	if cfg.Period <= 0 {
+		return errors.New("sim: period must be positive")
+	}
+	if cfg.NumTypes <= 0 || cfg.TypeOf == nil {
+		return errors.New("sim: task-type mapping required")
+	}
+	if cfg.SwitchCost != nil && len(cfg.SwitchCost) != len(cfg.Trace.Machines) {
+		return errors.New("sim: switch-cost length mismatch")
+	}
+	if cfg.InitialActive != nil && len(cfg.InitialActive) != len(cfg.Trace.Machines) {
+		return errors.New("sim: initial-active length mismatch")
+	}
+	if cfg.FailBudgetPerQueue <= 0 {
+		cfg.FailBudgetPerQueue = 64
+	}
+	if cfg.RepairSeconds <= 0 {
+		cfg.RepairSeconds = 900
+	}
+	return nil
+}
+
+func newEngine(cfg Config) *engine {
+	nm := len(cfg.Trace.Machines)
+	e := &engine{
+		cfg:          cfg,
+		active:       make([]int, nm),
+		byType:       make([][]int, nm),
+		arrivals:     make([]int, cfg.NumTypes),
+		runningN:     make([]int, cfg.NumTypes),
+		sumUsedCPU:   make([]float64, nm),
+		sumUsedMem:   make([]float64, nm),
+		occupancy:    make([][]int, nm),
+		freeCPUBound: make([]float64, nm),
+		freeMemBound: make([]float64, nm),
+		res: &Result{
+			Policy:       cfg.Policy.Name(),
+			DelayByGroup: make(map[trace.PriorityGroup]*stats.CDF, trace.NumGroups),
+			ActiveByType: make([]stats.Series, nm),
+		},
+	}
+	for _, g := range trace.Groups() {
+		e.res.DelayByGroup[g] = &stats.CDF{}
+	}
+	for gi := range e.pending {
+		e.pending[gi] = make([][]pendingTask, cfg.NumTypes)
+	}
+	if cfg.MTBFHours > 0 {
+		seed := cfg.FailureSeed
+		if seed == 0 {
+			seed = 1
+		}
+		e.failRand = rand.New(rand.NewSource(seed))
+	}
+	id := 0
+	for ti, mt := range cfg.Trace.Machines {
+		e.occupancy[ti] = make([]int, cfg.NumTypes)
+		e.res.ActiveByType[ti].Name = fmt.Sprintf("active type %d", mt.ID)
+		for k := 0; k < mt.Count; k++ {
+			e.machines = append(e.machines, machine{id: id, typeIdx: ti})
+			e.byType[ti] = append(e.byType[ti], id)
+			id++
+		}
+	}
+	if cfg.InitialActive != nil {
+		for ti, want := range cfg.InitialActive {
+			for _, mi := range e.byType[ti] {
+				if e.active[ti] >= want {
+					break
+				}
+				e.machines[mi].on = true
+				e.active[ti]++
+			}
+			if e.active[ti] > 0 {
+				e.freeCPUBound[ti] = cfg.Trace.Machines[ti].CPU
+				e.freeMemBound[ti] = cfg.Trace.Machines[ti].Mem
+			}
+		}
+	}
+	e.res.ActiveSeries.Name = "active machines " + cfg.Policy.Name()
+	e.res.UsedSeries.Name = "used machines " + cfg.Policy.Name()
+	e.res.QueueSeries.Name = "queued tasks " + cfg.Policy.Name()
+	return e
+}
+
+func (e *engine) run() {
+	tasks := e.cfg.Trace.Tasks
+	horizon := e.cfg.Trace.Horizon
+	nextTask := 0
+	nextPeriod := 0.0
+	periodIdx := 0
+
+	for {
+		// Next event time: min(arrival, completion, period boundary).
+		tArr, tFin := math.Inf(1), math.Inf(1)
+		if nextTask < len(tasks) {
+			tArr = tasks[nextTask].Submit
+		}
+		if len(e.running) > 0 {
+			tFin = e.running[0].finish
+		}
+		tEvt := math.Min(math.Min(tArr, tFin), nextPeriod)
+		if tEvt > horizon {
+			break
+		}
+		e.advanceTo(tEvt)
+
+		switch {
+		case tEvt == nextPeriod:
+			e.periodBoundary(periodIdx)
+			periodIdx++
+			nextPeriod += e.cfg.Period
+		case tEvt == tFin:
+			e.completeOne()
+			e.schedulePending()
+		default:
+			t := tasks[nextTask]
+			nextTask++
+			tt := e.typeOf(t)
+			e.arrivals[tt]++
+			gi := t.Group().Index()
+			p := pendingTask{task: t, taskType: tt}
+			// Fast path: preserve FIFO per (group, type) but place an
+			// arriving task immediately when nothing of its kind waits.
+			if len(e.pending[gi][tt]) == 0 && e.place(p) {
+				break
+			}
+			e.pending[gi][tt] = append(e.pending[gi][tt], p)
+			e.pendingCount++
+		}
+	}
+	e.advanceTo(horizon)
+	e.finish(horizon)
+}
+
+func (e *engine) typeOf(t trace.Task) int {
+	tt := e.cfg.TypeOf(t)
+	if tt < 0 || tt >= e.cfg.NumTypes {
+		return 0
+	}
+	return tt
+}
+
+// advanceTo integrates energy from lastEnergy to t.
+func (e *engine) advanceTo(t float64) {
+	dt := t - e.lastEnergy
+	if dt <= 0 {
+		e.now = t
+		return
+	}
+	price := e.cfg.Price.At(e.lastEnergy)
+	watts := 0.0
+	for ti, model := range e.cfg.Models {
+		if e.active[ti] == 0 {
+			continue
+		}
+		mt := e.cfg.Trace.Machines[ti]
+		watts += float64(e.active[ti])*model.IdleWatts +
+			model.AlphaCPU*e.sumUsedCPU[ti]/mt.CPU +
+			model.AlphaMem*e.sumUsedMem[ti]/mt.Mem
+	}
+	e.res.EnergyKWh += watts * dt / 3.6e6
+	e.res.EnergyCost += energy.Cost(watts, dt, price)
+	e.lastEnergy = t
+	e.now = t
+}
+
+func (e *engine) periodBoundary(periodIdx int) {
+	e.injectFailures()
+	e.relabelRunning()
+	obs := e.observe(periodIdx)
+	e.res.ActiveSeries.Points = append(e.res.ActiveSeries.Points,
+		stats.Point{X: e.now, Y: float64(totalInts(e.active))})
+	for ti := range e.active {
+		e.res.ActiveByType[ti].Points = append(e.res.ActiveByType[ti].Points,
+			stats.Point{X: e.now, Y: float64(e.active[ti])})
+	}
+	e.res.QueueSeries.Points = append(e.res.QueueSeries.Points,
+		stats.Point{X: e.now, Y: float64(totalInts(obs.Queued))})
+	e.res.UsedSeries.Points = append(e.res.UsedSeries.Points,
+		stats.Point{X: e.now, Y: float64(e.usedCount)})
+
+	dir := e.cfg.Policy.Period(obs)
+	e.apply(dir)
+	for i := range e.arrivals {
+		e.arrivals[i] = 0
+	}
+	e.schedulePending()
+}
+
+func (e *engine) observe(periodIdx int) *Observation {
+	obs := &Observation{
+		Time:        e.now,
+		PeriodIndex: periodIdx,
+		Arrivals:    append([]int(nil), e.arrivals...),
+		Queued:      make([]int, e.cfg.NumTypes),
+		Running:     append([]int(nil), e.runningN...),
+		Active:      append([]int(nil), e.active...),
+		Price:       e.cfg.Price.At(e.now),
+	}
+	for g := range e.pending {
+		for tt := range e.pending[g] {
+			for _, p := range e.pending[g][tt] {
+				obs.Queued[p.taskType]++
+				obs.QueuedDemandCPU += p.task.CPU
+				obs.QueuedDemandMem += p.task.Mem
+			}
+		}
+	}
+	for ti := range e.sumUsedCPU {
+		obs.RunningDemandCPU += e.sumUsedCPU[ti]
+		obs.RunningDemandMem += e.sumUsedMem[ti]
+	}
+	return obs
+}
+
+func (e *engine) apply(dir Directive) {
+	e.quota = dir.Quota
+	e.reserveCPU = dir.ReserveCPU
+	e.reserveMem = dir.ReserveMem
+	e.bestFit = dir.BestFit
+	if dir.TargetActive == nil {
+		return
+	}
+	for ti := range e.byType {
+		target := 0
+		if ti < len(dir.TargetActive) {
+			target = dir.TargetActive[ti]
+		}
+		if target < 0 {
+			target = 0
+		}
+		if target > len(e.byType[ti]) {
+			target = len(e.byType[ti])
+		}
+		e.setActive(ti, target)
+	}
+}
+
+// setActive powers machines of a type up or down toward target. Machines
+// with running tasks are never powered off.
+func (e *engine) setActive(ti, target int) {
+	mt := e.cfg.Trace.Machines[ti]
+	cost := 0.0
+	if e.cfg.SwitchCost != nil {
+		cost = e.cfg.SwitchCost[ti]
+	}
+	if e.active[ti] < target {
+		for _, mi := range e.byType[ti] {
+			if e.active[ti] >= target {
+				break
+			}
+			m := &e.machines[mi]
+			if !m.on {
+				m.on = true
+				m.readyAt = e.now + e.cfg.BootDelay
+				e.active[ti]++
+				e.res.SwitchEvents++
+				e.res.SwitchCost += cost
+				e.raiseBounds(ti, mt.CPU-m.usedCPU, mt.Mem-m.usedMem)
+			}
+		}
+		return
+	}
+	if e.active[ti] > target {
+		for _, mi := range e.byType[ti] {
+			if e.active[ti] <= target {
+				break
+			}
+			m := &e.machines[mi]
+			if m.on && m.tasks == 0 {
+				m.on = false
+				e.active[ti]--
+				e.res.SwitchEvents++
+				e.res.SwitchCost += cost
+			}
+		}
+	}
+}
+
+// schedulePending walks the queues in priority order (production first),
+// then per task type, first-fitting tasks onto powered machines while
+// honoring quotas and container reservations. Each type queue tolerates a
+// bounded number of placement failures per pass so one unschedulable task
+// cannot starve everything behind it.
+func (e *engine) schedulePending() {
+	if e.pendingCount == 0 {
+		return
+	}
+	for gi := trace.NumGroups - 1; gi >= 0; gi-- {
+		for tt := range e.pending[gi] {
+			q := e.pending[gi][tt]
+			if len(q) == 0 {
+				continue
+			}
+			fails := 0
+			kept := q[:0]
+			for qi, p := range q {
+				if fails >= e.cfg.FailBudgetPerQueue {
+					kept = append(kept, q[qi:]...)
+					break
+				}
+				if e.place(p) {
+					e.pendingCount--
+					continue
+				}
+				kept = append(kept, p)
+				fails++
+			}
+			e.pending[gi][tt] = kept
+		}
+	}
+}
+
+// place tries to start p on some machine; reports success.
+func (e *engine) place(p pendingTask) bool {
+	cpu, mem := p.task.CPU, p.task.Mem
+	if e.reserveCPU != nil && p.taskType < len(e.reserveCPU) {
+		if r := e.reserveCPU[p.taskType]; r > cpu {
+			cpu = r
+		}
+	}
+	if e.reserveMem != nil && p.taskType < len(e.reserveMem) {
+		if r := e.reserveMem[p.taskType]; r > mem {
+			mem = r
+		}
+	}
+	for ti := range e.byType {
+		if e.active[ti] == 0 {
+			continue
+		}
+		mt := e.cfg.Trace.Machines[ti]
+		if p.task.Constraint != "" && mt.Platform != p.task.Constraint {
+			continue // placement constraint: wrong platform
+		}
+		if cpu > mt.CPU || mem > mt.Mem {
+			continue
+		}
+		if cpu > e.freeCPUBound[ti]+1e-12 || mem > e.freeMemBound[ti]+1e-12 {
+			continue // no powered machine of this type can fit it
+		}
+		if e.quota != nil && ti < len(e.quota) && e.quota[ti] != nil {
+			if p.taskType < len(e.quota[ti]) &&
+				e.occupancy[ti][p.taskType] >= e.quota[ti][p.taskType] {
+				continue
+			}
+		}
+		// Placement within the machine type: legacy first-fit by
+		// default; best-fit (least leftover capacity) when the policy
+		// requests scheduler coordination — best-fit keeps large
+		// contiguous slots available, which matters because some
+		// containers occupy almost a whole machine.
+		var maxFreeCPU, maxFreeMem float64
+		best := -1
+		bestLeft := math.Inf(1)
+		for _, mi := range e.byType[ti] {
+			m := &e.machines[mi]
+			if !m.on {
+				continue
+			}
+			// Booting machines count toward the free-capacity bound
+			// (they will be ready soon; the bound must stay an upper
+			// bound) but cannot accept tasks yet.
+			freeCPU := mt.CPU - m.usedCPU
+			freeMem := mt.Mem - m.usedMem
+			if freeCPU > maxFreeCPU {
+				maxFreeCPU = freeCPU
+			}
+			if freeMem > maxFreeMem {
+				maxFreeMem = freeMem
+			}
+			if e.now < m.readyAt || e.now < m.downTil {
+				continue
+			}
+			if m.usedCPU+cpu > mt.CPU+1e-12 || m.usedMem+mem > mt.Mem+1e-12 {
+				continue
+			}
+			if !e.bestFit {
+				best = mi
+				break
+			}
+			left := (freeCPU-cpu)/mt.CPU + (freeMem-mem)/mt.Mem
+			if left < bestLeft {
+				bestLeft = left
+				best = mi
+			}
+		}
+		if best >= 0 {
+			e.start(p, best, cpu, mem)
+			return true
+		}
+		// The scan saw every powered machine: tighten the bounds so the
+		// next query for an equally large task skips this type outright.
+		e.freeCPUBound[ti] = maxFreeCPU
+		e.freeMemBound[ti] = maxFreeMem
+	}
+	return false
+}
+
+func (e *engine) start(p pendingTask, mi int, cpu, mem float64) {
+	m := &e.machines[mi]
+	m.usedCPU += cpu
+	m.usedMem += mem
+	if m.tasks == 0 {
+		e.usedCount++
+	}
+	m.tasks++
+	ti := m.typeIdx
+	e.sumUsedCPU[ti] += cpu
+	e.sumUsedMem[ti] += mem
+	e.occupancy[ti][p.taskType]++
+	e.runningN[p.taskType]++
+	heap.Push(&e.running, runningTask{
+		finish:   e.now + p.task.Duration,
+		start:    e.now,
+		machine:  mi,
+		epoch:    m.epoch,
+		taskType: p.taskType,
+		group:    p.task.Group(),
+		task:     p.task,
+		cpu:      cpu,
+		mem:      mem,
+	})
+	delay := e.now - p.task.Submit
+	if delay < 0 {
+		delay = 0
+	}
+	e.res.DelayByGroup[p.task.Group()].Add(delay)
+	e.res.Scheduled++
+}
+
+func (e *engine) completeOne() {
+	rt := heap.Pop(&e.running).(runningTask)
+	m := &e.machines[rt.machine]
+	if rt.epoch != m.epoch {
+		return // execution was aborted by a machine failure
+	}
+	m.usedCPU -= rt.cpu
+	m.usedMem -= rt.mem
+	if m.usedCPU < 0 {
+		m.usedCPU = 0
+	}
+	if m.usedMem < 0 {
+		m.usedMem = 0
+	}
+	m.tasks--
+	if m.tasks == 0 {
+		e.usedCount--
+	}
+	ti := m.typeIdx
+	e.sumUsedCPU[ti] -= rt.cpu
+	e.sumUsedMem[ti] -= rt.mem
+	if e.sumUsedCPU[ti] < 0 {
+		e.sumUsedCPU[ti] = 0
+	}
+	if e.sumUsedMem[ti] < 0 {
+		e.sumUsedMem[ti] = 0
+	}
+	e.occupancy[ti][rt.taskType]--
+	e.runningN[rt.taskType]--
+	mt := e.cfg.Trace.Machines[ti]
+	e.raiseBounds(ti, mt.CPU-m.usedCPU, mt.Mem-m.usedMem)
+	e.res.Completed++
+}
+
+// injectFailures fails each powered machine with the per-period hazard
+// implied by the configured MTBF. A failed machine aborts its executions
+// (the tasks requeue and restart from scratch), powers off, and stays
+// unavailable for the repair interval.
+func (e *engine) injectFailures() {
+	if e.cfg.MTBFHours <= 0 || e.failRand == nil {
+		return
+	}
+	pFail := e.cfg.Period / (e.cfg.MTBFHours * 3600)
+	if pFail > 1 {
+		pFail = 1
+	}
+	for mi := range e.machines {
+		m := &e.machines[mi]
+		if !m.on || e.failRand.Float64() >= pFail {
+			continue
+		}
+		e.res.Failures++
+		m.epoch++
+		m.on = false
+		m.downTil = e.now + e.cfg.RepairSeconds
+		e.active[m.typeIdx]--
+		ti := m.typeIdx
+		e.sumUsedCPU[ti] -= m.usedCPU
+		e.sumUsedMem[ti] -= m.usedMem
+		m.usedCPU = 0
+		m.usedMem = 0
+		m.tasks = 0
+		// Requeue the aborted executions.
+		for i := range e.running {
+			rt := &e.running[i]
+			if rt.machine != mi || rt.epoch >= m.epoch {
+				continue
+			}
+			e.res.TasksKilled++
+			e.occupancy[ti][rt.taskType]--
+			e.runningN[rt.taskType]--
+			gi := rt.task.Group().Index()
+			e.pending[gi][rt.taskType] = append(e.pending[gi][rt.taskType],
+				pendingTask{task: rt.task, taskType: rt.taskType})
+			e.pendingCount++
+			// Scheduled/delay stats were already recorded at first
+			// placement; the requeued execution will not re-record.
+			e.res.Scheduled--
+		}
+	}
+}
+
+// relabelRunning applies the configured relabel hook to every running
+// task, moving quota occupancy and per-type counts when a label changes.
+func (e *engine) relabelRunning() {
+	if e.cfg.Relabel == nil {
+		return
+	}
+	for i := range e.running {
+		rt := &e.running[i]
+		if rt.epoch != e.machines[rt.machine].epoch {
+			continue
+		}
+		nt := e.cfg.Relabel(rt.taskType, e.now-rt.start)
+		if nt == rt.taskType || nt < 0 || nt >= e.cfg.NumTypes {
+			continue
+		}
+		ti := e.machines[rt.machine].typeIdx
+		e.occupancy[ti][rt.taskType]--
+		e.occupancy[ti][nt]++
+		e.runningN[rt.taskType]--
+		e.runningN[nt]++
+		rt.taskType = nt
+	}
+}
+
+// raiseBounds loosens the free-capacity upper bounds after resources are
+// freed or a machine powers on. Bounds only ever need to stay >= the true
+// maxima, so raising them is always safe.
+func (e *engine) raiseBounds(ti int, freeCPU, freeMem float64) {
+	if freeCPU > e.freeCPUBound[ti] {
+		e.freeCPUBound[ti] = freeCPU
+	}
+	if freeMem > e.freeMemBound[ti] {
+		e.freeMemBound[ti] = freeMem
+	}
+}
+
+func (e *engine) finish(horizon float64) {
+	// Tasks still pending are censored at the horizon: they register
+	// their waiting time so far, which underestimates their final delay
+	// but keeps them visible in the CDFs.
+	for gi := range e.pending {
+		for tt := range e.pending[gi] {
+			for _, p := range e.pending[gi][tt] {
+				e.res.DelayByGroup[p.task.Group()].Add(horizon - p.task.Submit)
+				e.res.Unscheduled++
+			}
+		}
+	}
+}
+
+func totalInts(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{2, 0.75},
+		{2.5, 0.75},
+		{3, 1},
+		{10, 1},
+	}
+	for _, tt := range tests {
+		if got := c.P(tt.x); got != tt.want {
+			t.Errorf("P(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if got := c.P(1); got != 0 {
+		t.Errorf("empty P = %v", got)
+	}
+	if got := c.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v", got)
+	}
+	if pts := c.Points(10); pts != nil {
+		t.Errorf("empty Points = %v", pts)
+	}
+}
+
+func TestCDFAddThenQuery(t *testing.T) {
+	var c CDF
+	for _, x := range []float64{5, 1, 3} {
+		c.Add(x)
+	}
+	if got := c.P(3); got != 2.0/3.0 {
+		t.Errorf("P(3) = %v", got)
+	}
+	c.Add(0)
+	if got := c.P(0); got != 0.25 {
+		t.Errorf("P(0) after re-add = %v", got)
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10},
+		{0.25, 10},
+		{0.5, 20},
+		{0.75, 30},
+		{1, 40},
+	}
+	for _, tt := range tests {
+		if got := c.Quantile(tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points len = %d", len(pts))
+	}
+	if pts[0].X != 1 || pts[0].Y != 0 {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	if pts[4].X != 5 || pts[4].Y != 1 {
+		t.Errorf("last point = %+v", pts[4])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].Y < pts[i-1].Y {
+			t.Errorf("points not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+// Property: P is monotone non-decreasing and Quantile roughly inverts P.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		c := NewCDF(xs)
+		sort.Float64s(xs)
+		prev := -1.0
+		for i := 0; i <= 20; i++ {
+			x := xs[0] + (xs[n-1]-xs[0])*float64(i)/20
+			p := c.P(x)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		// Quantile(P(x)) <= x for every sample x.
+		for _, x := range xs {
+			if c.Quantile(c.P(x)) > x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := Series{Name: "demo", Points: []Point{{X: 1, Y: 2}}}
+	out := s.Render()
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	if got, want := out[:len("# series: demo")], "# series: demo"; got != want {
+		t.Errorf("header = %q", got)
+	}
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Histogram counts samples into equal-width bins over [lo, hi). Samples
+// outside the range are clamped into the first or last bin so no data is
+// silently dropped.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with nbins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) (*Histogram, error) {
+	if nbins <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if !(lo < hi) {
+		return nil, errors.New("stats: histogram needs lo < hi")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Density returns the normalized density of bin i (fraction of samples per
+// unit of x), or 0 when the histogram is empty.
+func (h *Histogram) Density(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return float64(h.Counts[i]) / float64(h.total) / w
+}
+
+// TimeBinner accumulates (time, value) observations into fixed-width time
+// bins, producing a time series of per-bin sums. It is used to turn raw
+// trace events into the demand/arrival-rate curves of Figures 1, 2 and 19.
+type TimeBinner struct {
+	Width float64 // bin width in the same unit as t
+	Sums  []float64
+}
+
+// NewTimeBinner creates a binner with the given bin width (> 0).
+func NewTimeBinner(width float64) (*TimeBinner, error) {
+	if width <= 0 {
+		return nil, errors.New("stats: time bin width must be positive")
+	}
+	return &TimeBinner{Width: width}, nil
+}
+
+// Observe adds value v at time t >= 0. Bins are grown on demand.
+func (b *TimeBinner) Observe(t, v float64) {
+	if t < 0 || math.IsNaN(t) {
+		return
+	}
+	idx := int(t / b.Width)
+	for idx >= len(b.Sums) {
+		b.Sums = append(b.Sums, 0)
+	}
+	b.Sums[idx] += v
+}
+
+// Series converts the accumulated bins into a plottable Series, with X the
+// bin start time and Y the bin sum.
+func (b *TimeBinner) Series(name string) Series {
+	pts := make([]Point, len(b.Sums))
+	for i, s := range b.Sums {
+		pts[i] = Point{X: float64(i) * b.Width, Y: s}
+	}
+	return Series{Name: name, Points: pts}
+}
+
+// RateSeries is like Series but divides each bin sum by the bin width,
+// turning event counts into rates (events per time unit).
+func (b *TimeBinner) RateSeries(name string) Series {
+	pts := make([]Point, len(b.Sums))
+	for i, s := range b.Sums {
+		pts[i] = Point{X: float64(i) * b.Width, Y: s / b.Width}
+	}
+	return Series{Name: name, Points: pts}
+}

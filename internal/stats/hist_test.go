@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Error("lo == hi should error")
+	}
+	if _, err := NewHistogram(2, 1, 4); err == nil {
+		t.Error("lo > hi should error")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.5, 5, 9.99, -3, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// -3 clamps to bin 0; 42 clamps to bin 9.
+	if h.Counts[0] != 3 {
+		t.Errorf("bin0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[9] != 2 {
+		t.Errorf("bin9 = %d, want 2", h.Counts[9])
+	}
+	if h.Counts[5] != 1 {
+		t.Errorf("bin5 = %d, want 1", h.Counts[5])
+	}
+}
+
+func TestHistogramDensityIntegratesToOne(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 20)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		h.Add(r.Float64())
+	}
+	w := 1.0 / 20
+	sum := 0.0
+	for i := range h.Counts {
+		sum += h.Density(i) * w
+	}
+	if !almostEq(sum, 1, 1e-9) {
+		t.Errorf("density integral = %v", sum)
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 10)
+	if got := h.BinCenter(0); got != 0.5 {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+	if got := h.BinCenter(9); got != 9.5 {
+		t.Errorf("BinCenter(9) = %v", got)
+	}
+}
+
+func TestTimeBinner(t *testing.T) {
+	if _, err := NewTimeBinner(0); err == nil {
+		t.Error("zero width should error")
+	}
+	b, err := NewTimeBinner(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Observe(0, 1)
+	b.Observe(5, 2)
+	b.Observe(10, 4)
+	b.Observe(25, 8)
+	b.Observe(-1, 100) // dropped
+	if len(b.Sums) != 3 {
+		t.Fatalf("bins = %d, want 3", len(b.Sums))
+	}
+	if b.Sums[0] != 3 || b.Sums[1] != 4 || b.Sums[2] != 8 {
+		t.Errorf("sums = %v", b.Sums)
+	}
+
+	s := b.Series("demand")
+	if len(s.Points) != 3 || s.Points[1].X != 10 || s.Points[1].Y != 4 {
+		t.Errorf("series = %+v", s)
+	}
+	rs := b.RateSeries("rate")
+	if rs.Points[2].Y != 0.8 {
+		t.Errorf("rate = %v, want 0.8", rs.Points[2].Y)
+	}
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"errors"
+
+	"harmony/internal/stats"
+)
+
+// DemandSeries computes the total CPU and memory demand present in the
+// system over time (Figures 1 and 2): each task contributes its demand from
+// submission until submission+duration. binWidth is in seconds.
+func DemandSeries(tr *Trace, binWidth float64) (cpu, mem stats.Series, err error) {
+	if binWidth <= 0 {
+		return cpu, mem, errors.New("trace: bin width must be positive")
+	}
+	nbins := int(tr.Horizon/binWidth) + 1
+	cpuDiff := make([]float64, nbins+1)
+	memDiff := make([]float64, nbins+1)
+	clampBin := func(t float64) int {
+		b := int(t / binWidth)
+		if b < 0 {
+			return 0
+		}
+		if b > nbins {
+			return nbins
+		}
+		return b
+	}
+	for _, t := range tr.Tasks {
+		start := clampBin(t.Submit)
+		end := clampBin(t.Submit + t.Duration)
+		cpuDiff[start] += t.CPU
+		memDiff[start] += t.Mem
+		if end < nbins {
+			cpuDiff[end] -= t.CPU
+			memDiff[end] -= t.Mem
+		}
+	}
+	cpuPts := make([]stats.Point, nbins)
+	memPts := make([]stats.Point, nbins)
+	var cAcc, mAcc float64
+	for i := 0; i < nbins; i++ {
+		cAcc += cpuDiff[i]
+		mAcc += memDiff[i]
+		x := float64(i) * binWidth
+		cpuPts[i] = stats.Point{X: x, Y: cAcc}
+		memPts[i] = stats.Point{X: x, Y: mAcc}
+	}
+	return stats.Series{Name: "total CPU demand", Points: cpuPts},
+		stats.Series{Name: "total memory demand", Points: memPts}, nil
+}
+
+// ArrivalRates computes the per-priority-group task arrival rate over time
+// (Figure 19), in tasks per second, binned at binWidth seconds.
+func ArrivalRates(tr *Trace, binWidth float64) (map[PriorityGroup]stats.Series, error) {
+	if binWidth <= 0 {
+		return nil, errors.New("trace: bin width must be positive")
+	}
+	binners := make(map[PriorityGroup]*stats.TimeBinner, NumGroups)
+	for _, g := range Groups() {
+		b, err := stats.NewTimeBinner(binWidth)
+		if err != nil {
+			return nil, err
+		}
+		binners[g] = b
+	}
+	for _, t := range tr.Tasks {
+		binners[t.Group()].Observe(t.Submit, 1)
+	}
+	out := make(map[PriorityGroup]stats.Series, NumGroups)
+	for g, b := range binners {
+		out[g] = b.RateSeries("arrival rate " + g.String())
+	}
+	return out, nil
+}
+
+// DurationCDFs returns the empirical CDF of task duration per priority
+// group (Figure 6).
+func DurationCDFs(tr *Trace) map[PriorityGroup]*stats.CDF {
+	out := make(map[PriorityGroup]*stats.CDF, NumGroups)
+	for _, g := range Groups() {
+		out[g] = &stats.CDF{}
+	}
+	for _, t := range tr.Tasks {
+		out[t.Group()].Add(t.Duration)
+	}
+	return out
+}
+
+// SizeScatter returns the (CPU, Mem) demand points of every task in the
+// given priority group (Figure 7a/b/c).
+func SizeScatter(tr *Trace, g PriorityGroup) []stats.Point {
+	var pts []stats.Point
+	for _, t := range tr.Tasks {
+		if t.Group() == g {
+			pts = append(pts, stats.Point{X: t.CPU, Y: t.Mem})
+		}
+	}
+	return pts
+}
+
+// MachineSummary describes one machine type row of Figure 5.
+type MachineSummary struct {
+	Type     MachineType
+	Fraction float64 // fraction of the machine population
+}
+
+// MachineHeterogeneity returns the Figure 5 view of the machine population.
+func MachineHeterogeneity(tr *Trace) []MachineSummary {
+	total := tr.TotalMachines()
+	out := make([]MachineSummary, 0, len(tr.Machines))
+	for _, m := range tr.Machines {
+		frac := 0.0
+		if total > 0 {
+			frac = float64(m.Count) / float64(total)
+		}
+		out = append(out, MachineSummary{Type: m, Fraction: frac})
+	}
+	return out
+}
+
+// GroupCounts returns the number of tasks per priority group.
+func GroupCounts(tr *Trace) map[PriorityGroup]int {
+	out := make(map[PriorityGroup]int, NumGroups)
+	for _, t := range tr.Tasks {
+		out[t.Group()]++
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func tinyTrace() *Trace {
+	return &Trace{
+		Machines: []MachineType{
+			{ID: 1, Platform: "A", CPU: 1, Mem: 1, Count: 3},
+			{ID: 2, Platform: "B", CPU: 0.5, Mem: 0.5, Count: 1},
+		},
+		Tasks: []Task{
+			{ID: 1, Submit: 0, Duration: 20, CPU: 0.2, Mem: 0.1, Priority: 0},
+			{ID: 2, Submit: 5, Duration: 10, CPU: 0.3, Mem: 0.2, Priority: 5},
+			{ID: 3, Submit: 15, Duration: 30, CPU: 0.1, Mem: 0.4, Priority: 10},
+		},
+		Horizon: 60,
+	}
+}
+
+func TestDemandSeries(t *testing.T) {
+	tr := tinyTrace()
+	cpu, mem, err := DemandSeries(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bin 0 [0,10): tasks 1 and 2 both start inside -> 0.2 + 0.3.
+	if got := cpu.Points[0].Y; got != 0.5 {
+		t.Errorf("cpu bin0 = %v, want 0.5", got)
+	}
+	// Bin 1 [10,20): task 2 ends at 15 (bin 1), so its demand is removed
+	// at bin 1; task 3 starts at bin 1; task 1 still running -> 0.2 + 0.1.
+	if got := cpu.Points[1].Y; !almost(got, 0.3) {
+		t.Errorf("cpu bin1 = %v, want 0.3", got)
+	}
+	// Bin 2 [20,30): task 1 ended at 20 -> only task 3 -> 0.1.
+	if got := cpu.Points[2].Y; !almost(got, 0.1) {
+		t.Errorf("cpu bin2 = %v, want 0.1", got)
+	}
+	// Memory follows the same bins.
+	if got := mem.Points[0].Y; !almost(got, 0.3) {
+		t.Errorf("mem bin0 = %v, want 0.3", got)
+	}
+	if _, _, err := DemandSeries(tr, 0); err == nil {
+		t.Error("zero bin width accepted")
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestArrivalRates(t *testing.T) {
+	tr := tinyTrace()
+	rates, err := ArrivalRates(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != NumGroups {
+		t.Fatalf("groups = %d", len(rates))
+	}
+	// Gratis task at t=0: rate 1/10 in bin 0.
+	if got := rates[Gratis].Points[0].Y; !almost(got, 0.1) {
+		t.Errorf("gratis rate bin0 = %v, want 0.1", got)
+	}
+	if _, err := ArrivalRates(tr, -1); err == nil {
+		t.Error("negative bin width accepted")
+	}
+}
+
+func TestDurationCDFs(t *testing.T) {
+	tr := tinyTrace()
+	cdfs := DurationCDFs(tr)
+	if got := cdfs[Gratis].Len(); got != 1 {
+		t.Errorf("gratis samples = %d", got)
+	}
+	if got := cdfs[Production].P(30); got != 1 {
+		t.Errorf("production P(30) = %v", got)
+	}
+}
+
+func TestSizeScatter(t *testing.T) {
+	tr := tinyTrace()
+	pts := SizeScatter(tr, Other)
+	if len(pts) != 1 || pts[0].X != 0.3 || pts[0].Y != 0.2 {
+		t.Errorf("scatter = %+v", pts)
+	}
+	if pts := SizeScatter(tr, PriorityGroup(99)); pts != nil {
+		t.Errorf("bogus group scatter = %+v", pts)
+	}
+}
+
+func TestMachineHeterogeneity(t *testing.T) {
+	tr := tinyTrace()
+	hs := MachineHeterogeneity(tr)
+	if len(hs) != 2 {
+		t.Fatalf("summaries = %d", len(hs))
+	}
+	if !almost(hs[0].Fraction, 0.75) || !almost(hs[1].Fraction, 0.25) {
+		t.Errorf("fractions = %v, %v", hs[0].Fraction, hs[1].Fraction)
+	}
+}
+
+func TestGroupCounts(t *testing.T) {
+	counts := GroupCounts(tinyTrace())
+	if counts[Gratis] != 1 || counts[Other] != 1 || counts[Production] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := tinyTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Horizon != tr.Horizon {
+		t.Errorf("horizon = %v", got.Horizon)
+	}
+	if len(got.Tasks) != len(tr.Tasks) {
+		t.Fatalf("tasks = %d", len(got.Tasks))
+	}
+	for i := range got.Tasks {
+		if got.Tasks[i] != tr.Tasks[i] {
+			t.Errorf("task %d = %+v, want %+v", i, got.Tasks[i], tr.Tasks[i])
+		}
+	}
+	if len(got.Machines) != len(tr.Machines) {
+		t.Fatalf("machines = %d", len(got.Machines))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Header claiming more tasks than present.
+	if _, err := Read(bytes.NewBufferString(`{"machines":[],"horizon":1,"tasks":5}` + "\n")); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the column layout of the CSV task export.
+var csvHeader = []string{"id", "job", "submit", "duration", "cpu", "mem", "priority", "class", "constraint"}
+
+// WriteCSV exports the task stream as CSV (one row per task, header row
+// first). Machine metadata is not part of the CSV form — use Write for a
+// lossless round trip; CSV exists for interoperability with external
+// analysis tools.
+func WriteCSV(w io.Writer, tr *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: csv header: %w", err)
+	}
+	row := make([]string, len(csvHeader))
+	for i := range tr.Tasks {
+		t := &tr.Tasks[i]
+		row[0] = strconv.FormatUint(t.ID, 10)
+		row[1] = strconv.FormatUint(t.JobID, 10)
+		row[2] = strconv.FormatFloat(t.Submit, 'g', -1, 64)
+		row[3] = strconv.FormatFloat(t.Duration, 'g', -1, 64)
+		row[4] = strconv.FormatFloat(t.CPU, 'g', -1, 64)
+		row[5] = strconv.FormatFloat(t.Mem, 'g', -1, 64)
+		row[6] = strconv.Itoa(t.Priority)
+		row[7] = strconv.Itoa(t.SchedClass)
+		row[8] = t.Constraint
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: csv task %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a task stream produced by WriteCSV. The caller supplies
+// the machine population (CSV does not carry it) and horizon; pass
+// horizon <= 0 to infer it from the last task's submit+duration.
+func ReadCSV(r io.Reader, machines []MachineType, horizon float64) (*Trace, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: csv header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: csv column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	tr := &Trace{Machines: machines, Horizon: horizon}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
+		}
+		t, err := taskFromCSV(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
+		}
+		tr.Tasks = append(tr.Tasks, t)
+	}
+	if tr.Horizon <= 0 {
+		for i := range tr.Tasks {
+			if end := tr.Tasks[i].Submit + tr.Tasks[i].Duration; end > tr.Horizon {
+				tr.Horizon = end
+			}
+		}
+	}
+	return tr, nil
+}
+
+func taskFromCSV(rec []string) (Task, error) {
+	var (
+		t   Task
+		err error
+	)
+	if t.ID, err = strconv.ParseUint(rec[0], 10, 64); err != nil {
+		return t, fmt.Errorf("id: %w", err)
+	}
+	if t.JobID, err = strconv.ParseUint(rec[1], 10, 64); err != nil {
+		return t, fmt.Errorf("job: %w", err)
+	}
+	if t.Submit, err = strconv.ParseFloat(rec[2], 64); err != nil {
+		return t, fmt.Errorf("submit: %w", err)
+	}
+	if t.Duration, err = strconv.ParseFloat(rec[3], 64); err != nil {
+		return t, fmt.Errorf("duration: %w", err)
+	}
+	if t.CPU, err = strconv.ParseFloat(rec[4], 64); err != nil {
+		return t, fmt.Errorf("cpu: %w", err)
+	}
+	if t.Mem, err = strconv.ParseFloat(rec[5], 64); err != nil {
+		return t, fmt.Errorf("mem: %w", err)
+	}
+	if t.Priority, err = strconv.Atoi(rec[6]); err != nil {
+		return t, fmt.Errorf("priority: %w", err)
+	}
+	if t.SchedClass, err = strconv.Atoi(rec[7]); err != nil {
+		return t, fmt.Errorf("class: %w", err)
+	}
+	t.Constraint = rec[8]
+	return t, nil
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// header is the first line of the serialized trace stream: machine
+// population and horizon, followed by one JSON task per line. The
+// line-oriented format keeps memory flat when streaming large traces.
+type header struct {
+	Machines []MachineType `json:"machines"`
+	Horizon  float64       `json:"horizon"`
+	Tasks    int           `json:"tasks"`
+}
+
+// Write serializes tr to w as a JSON-lines stream.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	h := header{Machines: tr.Machines, Horizon: tr.Horizon, Tasks: len(tr.Tasks)}
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("trace: encode header: %w", err)
+	}
+	for i := range tr.Tasks {
+		if err := enc.Encode(&tr.Tasks[i]); err != nil {
+			return fmt.Errorf("trace: encode task %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace previously produced by Write.
+func Read(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	tr := &Trace{
+		Machines: h.Machines,
+		Horizon:  h.Horizon,
+		Tasks:    make([]Task, 0, h.Tasks),
+	}
+	for {
+		var t Task
+		if err := dec.Decode(&t); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("trace: decode task %d: %w", len(tr.Tasks), err)
+		}
+		tr.Tasks = append(tr.Tasks, t)
+	}
+	if h.Tasks != len(tr.Tasks) {
+		return nil, fmt.Errorf("trace: header says %d tasks, stream has %d", h.Tasks, len(tr.Tasks))
+	}
+	return tr, nil
+}
