@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark, as a does-it-run smoke pass.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+check: build vet race bench

@@ -1,47 +1,57 @@
 // Command harmony-bench regenerates the paper's tables and figures: each
 // experiment id produces the corresponding data series and headline
 // numbers. Run with -list to see the available experiments, -exp all to
-// regenerate everything.
+// regenerate everything, and -parallel N to fan independent experiments
+// out across N workers (results print in deterministic input order).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"sync"
 
 	"harmony"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "harmony-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("harmony-bench", flag.ContinueOnError)
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids")
-		seed    = flag.Int64("seed", 1, "RNG seed")
-		hours   = flag.Float64("hours", 12, "workload length in hours")
-		rate    = flag.Float64("rate", 0.8, "task arrival rate (tasks/second)")
-		scale   = flag.Int("scale", 40, "cluster scale divisor")
-		cluster = flag.String("cluster", "tableii", "cluster: tableii | googlelike")
-		full    = flag.Bool("full-series", false, "print full series (default: summaries only)")
-		epsilon = flag.Float64("epsilon", 0, "container-sizing overflow bound (0 = default 0.25)")
+		exp      = fs.String("exp", "", "experiment id (see -list), or 'all'")
+		list     = fs.Bool("list", false, "list experiment ids")
+		seed     = fs.Int64("seed", 1, "RNG seed")
+		hours    = fs.Float64("hours", 12, "workload length in hours")
+		rate     = fs.Float64("rate", 0.8, "task arrival rate (tasks/second)")
+		scale    = fs.Int("scale", 40, "cluster scale divisor")
+		cluster  = fs.String("cluster", "tableii", "cluster: tableii | googlelike")
+		full     = fs.Bool("full-series", false, "print full series (default: summaries only)")
+		epsilon  = fs.Float64("epsilon", 0, "container-sizing overflow bound (0 = default 0.25)")
+		parallel = fs.Int("parallel", 1, "experiments to run concurrently (>= 1)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, id := range harmony.ExperimentIDs() {
-			fmt.Println(id)
+			fmt.Fprintln(out, id)
 		}
 		return nil
 	}
 	if *exp == "" {
 		return fmt.Errorf("missing -exp (use -list to see ids)")
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("invalid -parallel %d: must be >= 1", *parallel)
 	}
 
 	kind := harmony.ClusterTableII
@@ -52,6 +62,21 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown cluster %q", *cluster)
 	}
+
+	known := make(map[string]bool)
+	for _, id := range harmony.ExperimentIDs() {
+		known[id] = true
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = harmony.ExperimentIDs()
+	}
+	for _, id := range ids {
+		if !known[id] {
+			return fmt.Errorf("unknown experiment %q (use -list to see ids)", id)
+		}
+	}
+
 	env := harmony.NewEnv(
 		harmony.WorkloadConfig{
 			Seed:           *seed,
@@ -64,20 +89,38 @@ func run() error {
 		harmony.SimulationConfig{Epsilon: *epsilon},
 	)
 
-	ids := []string{*exp}
-	if *exp == "all" {
-		ids = harmony.ExperimentIDs()
+	// The Env is race-safe (Once-guarded caches), so independent
+	// experiment ids fan out across workers; rendered text is collected
+	// per id and printed in input order so the output is byte-identical
+	// to a sequential run.
+	texts := make([]string, len(ids))
+	errs := make([]error, len(ids))
+	sem := make(chan struct{}, *parallel)
+	var wg sync.WaitGroup
+	wg.Add(len(ids))
+	for i, id := range ids {
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			result, err := env.Run(id)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiment %s: %w", id, err)
+				return
+			}
+			if *full {
+				texts[i] = result.Render()
+			} else {
+				texts[i] = summarize(result)
+			}
+		}()
 	}
-	for _, id := range ids {
-		result, err := env.Run(id)
-		if err != nil {
-			return fmt.Errorf("experiment %s: %w", id, err)
+	wg.Wait()
+	for i := range ids {
+		if errs[i] != nil {
+			return errs[i]
 		}
-		if *full {
-			fmt.Print(result.Render())
-		} else {
-			fmt.Print(summarize(result))
-		}
+		fmt.Fprint(out, texts[i])
 	}
 	return nil
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"missing exp", nil, "missing -exp"},
+		{"unknown exp", []string{"-exp", "fig999"}, "unknown experiment"},
+		{"unknown exp among all ids", []string{"-exp", "nope"}, "unknown experiment"},
+		{"unknown cluster", []string{"-exp", "fig9", "-cluster", "azure"}, "unknown cluster"},
+		{"zero parallel", []string{"-exp", "fig9", "-parallel", "0"}, "invalid -parallel"},
+		{"negative parallel", []string{"-exp", "fig9", "-parallel", "-3"}, "invalid -parallel"},
+		{"non-numeric parallel", []string{"-exp", "fig9", "-parallel", "lots"}, "invalid value"},
+		{"undefined flag", []string{"-exp", "fig9", "-bogus"}, "flag provided but not defined"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args, io.Discard)
+			if err == nil {
+				t.Fatalf("run(%v) accepted", tt.args)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("run(%v) error = %q, want substring %q", tt.args, err, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig1", "fig26"} {
+		if !strings.Contains(b.String(), id) {
+			t.Errorf("-list output missing %q", id)
+		}
+	}
+}
+
+// A static experiment regenerates under -parallel without touching the
+// simulation caches, and the flag accepts values above the id count.
+func TestRunStaticExperimentParallel(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "fig9", "-parallel", "8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fig9") {
+		t.Errorf("fig9 output missing header: %q", b.String())
+	}
+}

@@ -7,34 +7,38 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"harmony"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "harmony-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("harmony-sim", flag.ContinueOnError)
 	var (
-		traceIn = flag.String("trace", "", "run on a trace file (from tracegen) instead of generating one")
-		seed    = flag.Int64("seed", 1, "RNG seed")
-		hours   = flag.Float64("hours", 12, "workload length in hours")
-		rate    = flag.Float64("rate", 0.8, "task arrival rate (tasks/second)")
-		scale   = flag.Int("scale", 40, "cluster scale divisor (Table II has 10000 machines at scale 1)")
-		policy  = flag.String("policy", "cbs", "policy: baseline | cbs | cbp | always-on")
-		period  = flag.Float64("period", 300, "control period in seconds")
-		horizon = flag.Int("horizon", 2, "MPC look-ahead periods")
-		epsilon = flag.Float64("epsilon", 0, "container-sizing overflow bound (0 = default 0.25)")
-		omega   = flag.Float64("omega", 1, "over-provisioning factor")
-		diurnal = flag.Bool("diurnal-price", false, "use a sinusoidal daily electricity price")
-		series  = flag.Bool("series", false, "also print the active-machine time series")
+		traceIn = fs.String("trace", "", "run on a trace file (from tracegen) instead of generating one")
+		seed    = fs.Int64("seed", 1, "RNG seed")
+		hours   = fs.Float64("hours", 12, "workload length in hours")
+		rate    = fs.Float64("rate", 0.8, "task arrival rate (tasks/second)")
+		scale   = fs.Int("scale", 40, "cluster scale divisor (Table II has 10000 machines at scale 1)")
+		policy  = fs.String("policy", "cbs", "policy: baseline | cbs | cbp | always-on")
+		period  = fs.Float64("period", 300, "control period in seconds")
+		horizon = fs.Int("horizon", 2, "MPC look-ahead periods")
+		epsilon = fs.Float64("epsilon", 0, "container-sizing overflow bound (0 = default 0.25)")
+		omega   = fs.Float64("omega", 1, "over-provisioning factor")
+		diurnal = fs.Bool("diurnal-price", false, "use a sinusoidal daily electricity price")
+		series  = fs.Bool("series", false, "also print the active-machine time series")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var p harmony.Policy
 	switch *policy {
@@ -68,7 +72,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workload: %d tasks, %d machines\n", w.NumTasks(), w.NumMachines())
+	fmt.Fprintf(out, "workload: %d tasks, %d machines\n", w.NumTasks(), w.NumMachines())
 
 	var ch *harmony.Characterization
 	if p == harmony.PolicyCBS || p == harmony.PolicyCBP {
@@ -76,7 +80,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("characterization: %d classes, %d task types\n",
+		fmt.Fprintf(out, "characterization: %d classes, %d task types\n",
 			len(ch.Classes()), ch.NumTaskTypes())
 	}
 
@@ -92,17 +96,17 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("\n%s results:\n", res.Policy)
-	fmt.Printf("  energy:        %.2f kWh ($%.2f)\n", res.EnergyKWh, res.EnergyCost)
-	fmt.Printf("  switching:     %d events ($%.2f)\n", res.SwitchEvents, res.SwitchCost)
-	fmt.Printf("  tasks:         %d scheduled, %d unscheduled, %d completed\n",
+	fmt.Fprintf(out, "\n%s results:\n", res.Policy)
+	fmt.Fprintf(out, "  energy:        %.2f kWh ($%.2f)\n", res.EnergyKWh, res.EnergyCost)
+	fmt.Fprintf(out, "  switching:     %d events ($%.2f)\n", res.SwitchEvents, res.SwitchCost)
+	fmt.Fprintf(out, "  tasks:         %d scheduled, %d unscheduled, %d completed\n",
 		res.Scheduled, res.Unscheduled, res.Completed)
 	for _, g := range harmony.Groups() {
-		fmt.Printf("  %-10s mean delay %8.1f s\n", g, res.MeanDelaySeconds[g])
+		fmt.Fprintf(out, "  %-10s mean delay %8.1f s\n", g, res.MeanDelaySeconds[g])
 	}
 	if *series {
-		fmt.Println()
-		fmt.Print(res.ActiveMachines.Render())
+		fmt.Fprintln(out)
+		fmt.Fprint(out, res.ActiveMachines.Render())
 	}
 	return nil
 }

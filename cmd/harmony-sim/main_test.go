@@ -1,0 +1,31 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"unknown policy", []string{"-policy", "magic"}, "unknown policy"},
+		{"non-numeric rate", []string{"-rate", "fast"}, "invalid value"},
+		{"undefined flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"missing trace file", []string{"-trace", "/nonexistent/trace.jsonl"}, "no such file"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args, io.Discard)
+			if err == nil {
+				t.Fatalf("run(%v) accepted", tt.args)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("run(%v) error = %q, want substring %q", tt.args, err, tt.want)
+			}
+		})
+	}
+}

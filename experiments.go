@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"harmony/internal/energy"
 	"harmony/internal/stats"
@@ -41,16 +42,34 @@ func (e *Experiment) Render() string {
 
 // Env holds the lazily built inputs shared by all experiments: the
 // workload, its characterization, and the three policy simulations.
+// Every cache is sync.Once-guarded, so one Env may be shared by any
+// number of goroutines: concurrent callers of the same accessor block
+// until the first finishes, and dependent stages (workload →
+// characterization → simulation) compose safely.
 type Env struct {
 	WorkloadCfg     WorkloadConfig
 	CharacterizeCfg CharacterizeConfig
 	SimCfg          SimulationConfig
 
-	w    *Workload
-	c    *Characterization
-	base *SimulationResult
-	cbs  *SimulationResult
-	cbp  *SimulationResult
+	wOnce sync.Once
+	w     *Workload
+	wErr  error
+
+	cOnce sync.Once
+	c     *Characterization
+	cErr  error
+
+	baseOnce sync.Once
+	base     *SimulationResult
+	baseErr  error
+
+	cbsOnce sync.Once
+	cbs     *SimulationResult
+	cbsErr  error
+
+	cbpOnce sync.Once
+	cbp     *SimulationResult
+	cbpErr  error
 }
 
 // NewEnv creates an experiment environment. Zero-valued configs get the
@@ -64,30 +83,28 @@ func NewEnv(wc WorkloadConfig, cc CharacterizeConfig, sc SimulationConfig) *Env 
 
 // Workload returns the (lazily generated) workload.
 func (e *Env) Workload() (*Workload, error) {
-	if e.w == nil {
-		w, err := GenerateWorkload(e.WorkloadCfg)
-		if err != nil {
-			return nil, err
-		}
-		e.w = w
-	}
-	return e.w, nil
+	e.wOnce.Do(func() { e.w, e.wErr = GenerateWorkload(e.WorkloadCfg) })
+	return e.w, e.wErr
 }
 
 // Characterization returns the (lazily computed) clustering.
 func (e *Env) Characterization() (*Characterization, error) {
-	if e.c == nil {
+	e.cOnce.Do(func() {
 		w, err := e.Workload()
 		if err != nil {
-			return nil, err
+			e.cErr = err
+			return
 		}
-		c, err := w.Characterize(e.CharacterizeCfg)
-		if err != nil {
-			return nil, err
-		}
-		e.c = c
-	}
-	return e.c, nil
+		e.c, e.cErr = w.Characterize(e.CharacterizeCfg)
+	})
+	return e.c, e.cErr
+}
+
+// prime pre-populates the workload and characterization caches; tests
+// and benchmarks use it to measure the policy simulations in isolation.
+func (e *Env) prime(w *Workload, c *Characterization) {
+	e.wOnce.Do(func() { e.w = w })
+	e.cOnce.Do(func() { e.c = c })
 }
 
 func (e *Env) simulate(p Policy) (*SimulationResult, error) {
@@ -108,38 +125,36 @@ func (e *Env) simulate(p Policy) (*SimulationResult, error) {
 
 // BaselineRun returns the cached baseline simulation.
 func (e *Env) BaselineRun() (*SimulationResult, error) {
-	if e.base == nil {
-		r, err := e.simulate(PolicyBaseline)
-		if err != nil {
-			return nil, err
-		}
-		e.base = r
-	}
-	return e.base, nil
+	e.baseOnce.Do(func() { e.base, e.baseErr = e.simulate(PolicyBaseline) })
+	return e.base, e.baseErr
 }
 
 // CBSRun returns the cached HARMONY-CBS simulation.
 func (e *Env) CBSRun() (*SimulationResult, error) {
-	if e.cbs == nil {
-		r, err := e.simulate(PolicyCBS)
-		if err != nil {
-			return nil, err
-		}
-		e.cbs = r
-	}
-	return e.cbs, nil
+	e.cbsOnce.Do(func() { e.cbs, e.cbsErr = e.simulate(PolicyCBS) })
+	return e.cbs, e.cbsErr
 }
 
 // CBPRun returns the cached HARMONY-CBP simulation.
 func (e *Env) CBPRun() (*SimulationResult, error) {
-	if e.cbp == nil {
-		r, err := e.simulate(PolicyCBP)
-		if err != nil {
-			return nil, err
-		}
-		e.cbp = r
-	}
-	return e.cbp, nil
+	e.cbpOnce.Do(func() { e.cbp, e.cbpErr = e.simulate(PolicyCBP) })
+	return e.cbp, e.cbpErr
+}
+
+// PolicyRuns evaluates the baseline, CBS, and CBP simulations
+// concurrently and returns all three. The paper's §IX comparison runs
+// three independent policies over one trace, so the fan-out is free
+// parallelism: each simulation owns its state and shares only the
+// Once-guarded workload and characterization. Results are cached
+// exactly like the individual accessors and are bit-identical to
+// running them sequentially.
+func (e *Env) PolicyRuns() (base, cbs, cbp *SimulationResult, err error) {
+	err = runAll(
+		func() error { r, err := e.BaselineRun(); base = r; return err },
+		func() error { r, err := e.CBSRun(); cbs = r; return err },
+		func() error { r, err := e.CBPRun(); cbp = r; return err },
+	)
+	return base, cbs, cbp, err
 }
 
 // ExperimentIDs lists every regenerable figure/table in paper order.
@@ -570,15 +585,7 @@ func (e *Env) serversExperiment(id string, p Policy) (*Experiment, error) {
 }
 
 func (e *Env) policyDelaysExperiment() (*Experiment, error) {
-	base, err := e.BaselineRun()
-	if err != nil {
-		return nil, err
-	}
-	cbs, err := e.CBSRun()
-	if err != nil {
-		return nil, err
-	}
-	cbp, err := e.CBPRun()
+	base, cbs, cbp, err := e.PolicyRuns()
 	if err != nil {
 		return nil, err
 	}
@@ -597,15 +604,7 @@ func (e *Env) policyDelaysExperiment() (*Experiment, error) {
 }
 
 func (e *Env) energyComparisonExperiment() (*Experiment, error) {
-	base, err := e.BaselineRun()
-	if err != nil {
-		return nil, err
-	}
-	cbs, err := e.CBSRun()
-	if err != nil {
-		return nil, err
-	}
-	cbp, err := e.CBPRun()
+	base, cbs, cbp, err := e.PolicyRuns()
 	if err != nil {
 		return nil, err
 	}

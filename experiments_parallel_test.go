@@ -1,0 +1,113 @@
+package harmony
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func smallEnv() *Env {
+	return NewEnv(
+		WorkloadConfig{Seed: 8, Hours: 2, TasksPerSecond: 0.25, ClusterScale: 100},
+		CharacterizeConfig{Seed: 8, MaxClassesPerGroup: 4},
+		SimulationConfig{PeriodSeconds: 300},
+	)
+}
+
+// The tentpole determinism guarantee: running the three policy
+// simulations concurrently must produce bit-identical results to
+// running them one after another on a fresh Env with the same seeds.
+func TestPolicyRunsMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy simulations are slow")
+	}
+
+	seq := smallEnv()
+	seqBase, err := seq.BaselineRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqCBS, err := seq.CBSRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqCBP, err := seq.CBPRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := smallEnv()
+	base, cbs, cbp, err := par.PolicyRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tt := range []struct {
+		name     string
+		seq, par *SimulationResult
+	}{
+		{"baseline", seqBase, base},
+		{"cbs", seqCBS, cbs},
+		{"cbp", seqCBP, cbp},
+	} {
+		if !reflect.DeepEqual(tt.seq, tt.par) {
+			t.Errorf("%s: parallel result differs from sequential", tt.name)
+		}
+	}
+
+	// The concurrent runs are cached: the accessors hand back the very
+	// same results without re-simulating.
+	again, err := par.BaselineRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != base {
+		t.Error("BaselineRun after PolicyRuns re-simulated instead of using the cache")
+	}
+}
+
+// Env accessors must be safe under concurrent callers: many goroutines
+// hammering the same accessor get one shared result, not a race.
+// (go test -race is the real assertion here.)
+func TestEnvConcurrentWorkloadAccess(t *testing.T) {
+	env := smallEnv()
+	const callers = 16
+	results := make([]*Workload, callers)
+	errs := make([]func() error, callers)
+	for i := range errs {
+		errs[i] = func() error {
+			w, err := env.Workload()
+			results[i] = w
+			return err
+		}
+	}
+	if err := runAll(errs...); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range results {
+		if w != results[0] {
+			t.Fatalf("caller %d saw a different workload instance", i)
+		}
+	}
+}
+
+func TestRunAllErrorOrdering(t *testing.T) {
+	if err := runAll(); err != nil {
+		t.Errorf("empty runAll = %v", err)
+	}
+	errA := errors.New("a")
+	errB := errors.New("b")
+	var ran atomic.Int32
+	err := runAll(
+		func() error { ran.Add(1); return nil },
+		func() error { ran.Add(1); return errA },
+		func() error { ran.Add(1); return errB },
+	)
+	if err != errA {
+		t.Errorf("runAll error = %v, want first failing fn's error %v", err, errA)
+	}
+	if ran.Load() != 3 {
+		t.Errorf("runAll ran %d fns, want all 3", ran.Load())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 var (
@@ -75,10 +76,21 @@ func MGcWait(c int, lambda, mu, sqCV float64) (float64, error) {
 // many containers indicates a unit error upstream.
 const maxContainers = 10_000_000
 
+// waitEvals counts the MGcWait evaluations performed by MinContainers;
+// the solver tests assert the gallop + binary-search strategy stays
+// logarithmic. Atomic because concurrent policy simulations size
+// containers in parallel.
+var waitEvals atomic.Int64
+
 // MinContainers returns the smallest container count c such that the
 // M/G/c mean waiting time is at most maxDelay seconds and the traffic
 // intensity is strictly below 1. This is the container manager's sizing
 // rule from Section VI.
+//
+// MGcWait is monotone decreasing in c, so instead of a linear scan the
+// solver gallops (doubling the offset above the stability bound) to
+// bracket the answer and then binary-searches the bracket: O(log c)
+// MGcWait evaluations, each itself O(c), instead of O(c) evaluations.
 func MinContainers(lambda, mu, sqCV, maxDelay float64) (int, error) {
 	if lambda < 0 || mu <= 0 || sqCV < 0 || maxDelay <= 0 {
 		return 0, fmt.Errorf("%w: lambda=%v mu=%v cv2=%v delay=%v",
@@ -87,20 +99,60 @@ func MinContainers(lambda, mu, sqCV, maxDelay float64) (int, error) {
 	if lambda == 0 {
 		return 0, nil
 	}
-	// Stability requires c > a; start just above and grow. The wait is
-	// strictly decreasing in c, so the first satisfying c is minimal.
+	eval := func(c int) (float64, error) {
+		waitEvals.Add(1)
+		return MGcWait(c, lambda, mu, sqCV)
+	}
+	// Stability requires c > a, so lo is the smallest stable count.
 	a := lambda / mu
-	c := int(math.Floor(a)) + 1
-	for ; c <= maxContainers; c++ {
-		w, err := MGcWait(c, lambda, mu, sqCV)
+	lo := int(math.Floor(a)) + 1
+	if lo > maxContainers {
+		return 0, fmt.Errorf("%w: lambda=%v mu=%v", ErrUnstable, lambda, mu)
+	}
+	w, err := eval(lo)
+	if err != nil {
+		return 0, err
+	}
+	if w <= maxDelay {
+		return lo, nil
+	}
+	// Gallop: double the offset until the wait satisfies the SLO. On
+	// exit, bad is the largest probed count that violates the SLO and
+	// good the smallest probe that satisfies it.
+	bad, good := lo, 0
+	for step := 1; ; step *= 2 {
+		c := lo + step
+		if c > maxContainers {
+			c = maxContainers
+		}
+		w, err := eval(c)
 		if err != nil {
 			return 0, err
 		}
 		if w <= maxDelay {
-			return c, nil
+			good = c
+			break
+		}
+		if c == maxContainers {
+			return 0, fmt.Errorf("%w: lambda=%v mu=%v", ErrUnstable, lambda, mu)
+		}
+		bad = c
+	}
+	// Binary search (bad, good]: monotonicity makes the first
+	// satisfying count the minimal one.
+	for good-bad > 1 {
+		mid := bad + (good-bad)/2
+		w, err := eval(mid)
+		if err != nil {
+			return 0, err
+		}
+		if w <= maxDelay {
+			good = mid
+		} else {
+			bad = mid
 		}
 	}
-	return 0, fmt.Errorf("%w: lambda=%v mu=%v", ErrUnstable, lambda, mu)
+	return good, nil
 }
 
 // Utilization returns the traffic intensity ρ = λ/(cμ) of an M/G/c queue,

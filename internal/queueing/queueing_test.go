@@ -2,6 +2,8 @@ package queueing
 
 import (
 	"math"
+	"math/bits"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -229,5 +231,119 @@ func TestMinContainersMonotoneInSLO(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// linearMinContainers is the pre-optimization reference: scan c upward
+// from the stability bound, one MGcWait evaluation per candidate.
+// Returns the minimal c and how many evaluations the scan spent.
+func linearMinContainers(lambda, mu, sqCV, maxDelay float64) (int, int, error) {
+	a := lambda / mu
+	evals := 0
+	for c := int(math.Floor(a)) + 1; c <= maxContainers; c++ {
+		evals++
+		w, err := MGcWait(c, lambda, mu, sqCV)
+		if err != nil {
+			return 0, evals, err
+		}
+		if w <= maxDelay {
+			return c, evals, nil
+		}
+	}
+	return 0, evals, ErrUnstable
+}
+
+// The gallop + binary-search solver must return exactly the linear
+// scan's answer on a randomized sweep while spending asymptotically
+// fewer MGcWait evaluations (logarithmic in c rather than linear).
+func TestMinContainersMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var galloped, linear int64
+	for i := 0; i < 300; i++ {
+		// Spread the offered load over orders of magnitude (1..20000
+		// containers of work) and make some delay targets tight enough
+		// that the answer lands hundreds of containers past the
+		// stability bound — the regime where the linear scan pays
+		// hundreds of O(c) Erlang evaluations.
+		a := math.Exp(rng.Float64() * math.Log(20000))
+		mu := math.Exp(-(rng.Float64()*9 + 1)) // mean service 2.7 s .. 6 h
+		lambda := a * mu
+		sqCV := rng.Float64() * 4
+		maxDelay := math.Exp(rng.Float64()*34-32) / mu
+
+		wantC, wantEvals, wantErr := linearMinContainers(lambda, mu, sqCV, maxDelay)
+		before := waitEvals.Load()
+		gotC, gotErr := MinContainers(lambda, mu, sqCV, maxDelay)
+		gotEvals := int(waitEvals.Load() - before)
+
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("case %d (λ=%g μ=%g cv²=%g d=%g): err=%v, linear err=%v",
+				i, lambda, mu, sqCV, maxDelay, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if gotC != wantC {
+			t.Fatalf("case %d (λ=%g μ=%g cv²=%g d=%g): c=%d, linear c=%d",
+				i, lambda, mu, sqCV, maxDelay, gotC, wantC)
+		}
+		// Per-case bound: gallop + binary search is 2·log2(span)+2.
+		span := gotC - int(math.Floor(lambda/mu))
+		if bound := 2*bits.Len(uint(span+1)) + 2; gotEvals > bound {
+			t.Errorf("case %d: %d evaluations for span %d, want <= %d",
+				i, gotEvals, span, bound)
+		}
+		galloped += int64(gotEvals)
+		linear += int64(wantEvals)
+	}
+	// Aggregate: the sweep includes answers in the thousands, where the
+	// linear scan pays thousands of evaluations and galloping ~20.
+	if galloped*4 >= linear {
+		t.Errorf("galloping spent %d evaluations vs linear %d; expected far fewer",
+			galloped, linear)
+	}
+}
+
+// logDirectErlangC evaluates Eq. 2 by direct summation in log space
+// (log-sum-exp over a^k/k!), which stays finite for any c. It is the
+// independent reference documenting why the Erlang-B recurrence in
+// ErlangC is sufficient: the two agree to near machine precision all
+// the way to c = 10^4, where naive direct summation would overflow.
+func logDirectErlangC(c int, a float64) float64 {
+	lga := math.Log(a)
+	rho := a / float64(c)
+	terms := make([]float64, c+1)
+	maxT := math.Inf(-1)
+	for k := 0; k <= c; k++ {
+		lg, _ := math.Lgamma(float64(k + 1))
+		terms[k] = float64(k)*lga - lg
+		if k == c {
+			terms[k] -= math.Log1p(-rho) // the (1-rho)^-1 factor on the c-term
+		}
+		if terms[k] > maxT {
+			maxT = terms[k]
+		}
+	}
+	sum := 0.0
+	for _, lt := range terms {
+		sum += math.Exp(lt - maxT)
+	}
+	logDenom := maxT + math.Log(sum)
+	return math.Exp(terms[c] - logDenom)
+}
+
+func TestErlangCMatchesLogSpaceDirectSumLargeC(t *testing.T) {
+	for _, c := range []int{10, 100, 1000, 10000} {
+		for _, load := range []float64{0.5, 0.8, 0.95, 0.99} {
+			a := load * float64(c)
+			got, err := ErlangC(c, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := logDirectErlangC(c, a)
+			if math.Abs(got-want) > 1e-8*math.Max(want, 1e-300) && math.Abs(got-want) > 1e-10 {
+				t.Errorf("ErlangC(%d, %g) = %v, log-space direct sum %v", c, a, got, want)
+			}
+		}
 	}
 }

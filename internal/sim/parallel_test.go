@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"harmony/internal/energy"
+	"harmony/internal/trace"
+)
+
+// bigEngine builds an engine over enough machines to span several audit
+// shards, with a deterministic pseudo-random mix of powered, loaded, and
+// failed machines.
+func bigEngine(t *testing.T) *engine {
+	t.Helper()
+	tr := &trace.Trace{
+		Machines: []trace.MachineType{
+			{ID: 1, CPU: 0.5, Mem: 0.5, Count: 3000},
+			{ID: 2, CPU: 1, Mem: 1, Count: 2500},
+		},
+		Horizon: 1000,
+	}
+	cfg := Config{
+		Trace:    tr,
+		Models:   simModels(),
+		Price:    energy.FlatPrice(0.1),
+		Policy:   &staticPolicy{name: "x", target: []int{0, 0}},
+		Period:   100,
+		NumTypes: 1,
+		TypeOf:   func(trace.Task) int { return 0 },
+	}
+	if err := validateConfig(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.applyDefaults()
+	e := newEngine(cfg)
+	rng := rand.New(rand.NewSource(7))
+	for mi := range e.machines {
+		m := &e.machines[mi]
+		switch rng.Intn(4) {
+		case 0: // off
+		case 1: // powered, idle
+			m.on = true
+		case 2: // powered, loaded
+			m.on = true
+			mt := tr.Machines[m.typeIdx]
+			m.usedCPU = rng.Float64() * mt.CPU
+			m.usedMem = rng.Float64() * mt.Mem
+			m.tasks = 1 + rng.Intn(3)
+		case 3: // booting
+			m.on = true
+			m.readyAt = 500
+		}
+	}
+	return e
+}
+
+// The sharded audit must agree with a plain sequential scan and be
+// bit-for-bit identical no matter how many workers run it.
+func TestAuditMachinesDeterministicAcrossWorkers(t *testing.T) {
+	e := bigEngine(t)
+
+	// Reference: straightforward sequential accounting.
+	want := machineAudit{
+		freeCPU: make([]float64, len(e.byType)),
+		freeMem: make([]float64, len(e.byType)),
+	}
+	for mi := range e.machines {
+		m := &e.machines[mi]
+		if m.tasks > 0 {
+			want.used++
+		}
+		if !m.on {
+			continue
+		}
+		mt := e.cfg.Trace.Machines[m.typeIdx]
+		if f := mt.CPU - m.usedCPU; f > want.freeCPU[m.typeIdx] {
+			want.freeCPU[m.typeIdx] = f
+		}
+		if f := mt.Mem - m.usedMem; f > want.freeMem[m.typeIdx] {
+			want.freeMem[m.typeIdx] = f
+		}
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	// Fixed worker counts (not NumCPU) so the multi-worker path runs
+	// even on a single-core box.
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		got := e.auditMachines()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("GOMAXPROCS=%d: audit = %+v, want %+v", procs, got, want)
+		}
+	}
+}
+
+func genFailureConfig(t *testing.T, seed int64) Config {
+	t.Helper()
+	cfgTr := trace.DefaultConfig(seed)
+	cfgTr.Horizon = 2 * trace.Hour
+	cfgTr.RatePerS = 0.5
+	cfgTr.Machines = []trace.MachineType{
+		{ID: 1, CPU: 0.5, Mem: 0.5, Count: 30},
+		{ID: 2, CPU: 1, Mem: 1, Count: 10},
+	}
+	tr, err := trace.Generate(cfgTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Trace:         tr,
+		Models:        simModels(),
+		Price:         energy.FlatPrice(0.1),
+		Policy:        &staticPolicy{name: "all", target: []int{30, 10}},
+		Period:        300,
+		NumTypes:      1,
+		TypeOf:        func(trace.Task) int { return 0 },
+		MTBFHours:     1,
+		RepairSeconds: 200,
+	}
+}
+
+// Identical seeds must produce bit-identical results whether the audit
+// shards run on one worker or many (the tentpole determinism guarantee).
+func TestRunDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	r1, err := Run(genFailureConfig(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GOMAXPROCS(8)
+	rn, err := Run(genFailureConfig(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, rn) {
+		t.Error("results differ between GOMAXPROCS=1 and GOMAXPROCS=8")
+	}
+}
+
+// Under aggressive failure injection (machines failing repeatedly while
+// stale heap entries from earlier failures are still queued) the
+// accounting invariants must hold: every task is scheduled or
+// unscheduled exactly once, and each placement contributes exactly one
+// delay sample. The pre-fix simulator double-requeued tasks whose
+// machine failed twice, which breaks both.
+func TestRunFailureAccountingInvariants(t *testing.T) {
+	cfg := genFailureConfig(t, 11)
+	cfg.MTBFHours = 0.25 // one failure per machine-hour of uptime, many repeats
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(cfg.Trace.Tasks)
+	if res.Failures == 0 || res.TasksKilled == 0 {
+		t.Fatalf("stress run injected no failures (failures=%d killed=%d)",
+			res.Failures, res.TasksKilled)
+	}
+	if res.Scheduled+res.Unscheduled != n {
+		t.Errorf("scheduled %d + unscheduled %d != tasks %d",
+			res.Scheduled, res.Unscheduled, n)
+	}
+	if res.Completed > res.Scheduled {
+		t.Errorf("completed %d > scheduled %d", res.Completed, res.Scheduled)
+	}
+	samples := 0
+	for _, g := range trace.Groups() {
+		samples += res.DelayByGroup[g].Len()
+	}
+	if want := n + res.TasksKilled; samples != want {
+		t.Errorf("delay samples %d != tasks %d + killed %d",
+			samples, n, res.TasksKilled)
+	}
+}
+
+// The used-machine series must never go negative or exceed the powered
+// count, even when failures take loaded machines down (the pre-fix
+// simulator leaked usedCount on failure).
+func TestRunUsedCountSaneUnderFailures(t *testing.T) {
+	res, err := Run(genFailureConfig(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.UsedSeries.Points {
+		if p.Y < 0 {
+			t.Fatalf("used series dips negative at point %d: %v", i, p.Y)
+		}
+		if a := res.ActiveSeries.Points[i].Y; p.Y > a {
+			t.Fatalf("used %v exceeds active %v at point %d", p.Y, a, i)
+		}
+	}
+}

@@ -246,9 +246,25 @@ func Run(cfg Config) (*Result, error) {
 	if err := validateConfig(&cfg); err != nil {
 		return nil, err
 	}
+	cfg.applyDefaults()
 	e := newEngine(cfg)
 	e.run()
 	return e.res, nil
+}
+
+// applyDefaults normalizes every optional Config field in one place, so
+// the defaults documented on the struct hold regardless of which path
+// constructed the config.
+func (cfg *Config) applyDefaults() {
+	if cfg.FailBudgetPerQueue <= 0 {
+		cfg.FailBudgetPerQueue = 64
+	}
+	if cfg.RepairSeconds <= 0 {
+		cfg.RepairSeconds = 900
+	}
+	if cfg.FailureSeed == 0 {
+		cfg.FailureSeed = 1
+	}
 }
 
 func validateConfig(cfg *Config) error {
@@ -276,12 +292,6 @@ func validateConfig(cfg *Config) error {
 	}
 	if cfg.InitialActive != nil && len(cfg.InitialActive) != len(cfg.Trace.Machines) {
 		return errors.New("sim: initial-active length mismatch")
-	}
-	if cfg.FailBudgetPerQueue <= 0 {
-		cfg.FailBudgetPerQueue = 64
-	}
-	if cfg.RepairSeconds <= 0 {
-		cfg.RepairSeconds = 900
 	}
 	return nil
 }
@@ -312,11 +322,7 @@ func newEngine(cfg Config) *engine {
 		e.pending[gi] = make([][]pendingTask, cfg.NumTypes)
 	}
 	if cfg.MTBFHours > 0 {
-		seed := cfg.FailureSeed
-		if seed == 0 {
-			seed = 1
-		}
-		e.failRand = rand.New(rand.NewSource(seed))
+		e.failRand = rand.New(rand.NewSource(cfg.FailureSeed))
 	}
 	id := 0
 	for ti, mt := range cfg.Trace.Machines {
@@ -433,6 +439,7 @@ func (e *engine) advanceTo(t float64) {
 
 func (e *engine) periodBoundary(periodIdx int) {
 	e.injectFailures()
+	e.refreshAccounting()
 	e.relabelRunning()
 	obs := e.observe(periodIdx)
 	e.res.ActiveSeries.Points = append(e.res.ActiveSeries.Points,
@@ -733,6 +740,11 @@ func (e *engine) completeOne() {
 // implied by the configured MTBF. A failed machine aborts its executions
 // (the tasks requeue and restart from scratch), powers off, and stays
 // unavailable for the repair interval.
+//
+// The hazard draws are sequential — the RNG stream is part of the
+// deterministic contract — but the expensive part, finding the aborted
+// executions, is a single pass over the running set instead of a full
+// rescan per failed machine (O(R+F) rather than O(R·F)).
 func (e *engine) injectFailures() {
 	if e.cfg.MTBFHours <= 0 || e.failRand == nil {
 		return
@@ -741,28 +753,57 @@ func (e *engine) injectFailures() {
 	if pFail > 1 {
 		pFail = 1
 	}
+	// Phase 1: draw the hazards and take the failed machines down,
+	// recording the epoch their live executions carry.
+	var failed []int // machine ids, ascending (requeue grouping order)
+	liveEpoch := make(map[int]int)
 	for mi := range e.machines {
 		m := &e.machines[mi]
 		if !m.on || e.failRand.Float64() >= pFail {
 			continue
 		}
 		e.res.Failures++
+		failed = append(failed, mi)
+		liveEpoch[mi] = m.epoch
 		m.epoch++
 		m.on = false
 		m.downTil = e.now + e.cfg.RepairSeconds
-		e.active[m.typeIdx]--
 		ti := m.typeIdx
+		e.active[ti]--
 		e.sumUsedCPU[ti] -= m.usedCPU
 		e.sumUsedMem[ti] -= m.usedMem
 		m.usedCPU = 0
 		m.usedMem = 0
+		if m.tasks > 0 {
+			e.usedCount--
+		}
 		m.tasks = 0
-		// Requeue the aborted executions.
-		for i := range e.running {
-			rt := &e.running[i]
-			if rt.machine != mi || rt.epoch >= m.epoch {
-				continue
-			}
+	}
+	if len(failed) == 0 {
+		return
+	}
+	// Phase 2: one pass over the running set collects the aborted
+	// executions, grouped per failed machine to preserve the requeue
+	// order of the per-machine scan. Only entries carrying the
+	// machine's pre-failure epoch are live: stale entries left in the
+	// heap by an earlier failure were requeued back then and must not
+	// requeue twice.
+	orderOf := make(map[int]int, len(failed))
+	for i, mi := range failed {
+		orderOf[mi] = i
+	}
+	aborted := make([][]*runningTask, len(failed))
+	for i := range e.running {
+		rt := &e.running[i]
+		oi, ok := orderOf[rt.machine]
+		if !ok || rt.epoch != liveEpoch[rt.machine] {
+			continue
+		}
+		aborted[oi] = append(aborted[oi], rt)
+	}
+	for i, mi := range failed {
+		ti := e.machines[mi].typeIdx
+		for _, rt := range aborted[i] {
 			e.res.TasksKilled++
 			e.occupancy[ti][rt.taskType]--
 			e.runningN[rt.taskType]--

@@ -1,0 +1,27 @@
+package harmony
+
+import "sync"
+
+// runAll runs every function on its own goroutine and waits for all of
+// them to finish. The returned error is the first non-nil error in
+// argument order, so the outcome never depends on goroutine
+// interleaving. Functions must be safe to run concurrently with each
+// other; the Env accessors are (their caches are Once-guarded).
+func runAll(fns ...func() error) error {
+	errs := make([]error, len(fns))
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for i, fn := range fns {
+		go func() {
+			defer wg.Done()
+			errs[i] = fn()
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
