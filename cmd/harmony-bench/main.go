@@ -1,8 +1,11 @@
 // Command harmony-bench regenerates the paper's tables and figures: each
 // experiment id produces the corresponding data series and headline
 // numbers. Run with -list to see the available experiments, -exp all to
-// regenerate everything, and -parallel N to fan independent experiments
-// out across N workers (results print in deterministic input order).
+// regenerate everything (comma-separated ids select a subset), and
+// -parallel N to fan independent experiments out across N workers
+// (results print in deterministic input order). The -golden write|check
+// modes persist each experiment's full rendering under -golden-dir and
+// diff against it, so CI can catch unintended result drift.
 package main
 
 import (
@@ -10,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 
@@ -26,19 +30,26 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("harmony-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "", "experiment id (see -list), or 'all'")
-		list     = fs.Bool("list", false, "list experiment ids")
-		seed     = fs.Int64("seed", 1, "RNG seed")
-		hours    = fs.Float64("hours", 12, "workload length in hours")
-		rate     = fs.Float64("rate", 0.8, "task arrival rate (tasks/second)")
-		scale    = fs.Int("scale", 40, "cluster scale divisor")
-		cluster  = fs.String("cluster", "tableii", "cluster: tableii | googlelike")
-		full     = fs.Bool("full-series", false, "print full series (default: summaries only)")
-		epsilon  = fs.Float64("epsilon", 0, "container-sizing overflow bound (0 = default 0.25)")
-		parallel = fs.Int("parallel", 1, "experiments to run concurrently (>= 1)")
+		exp       = fs.String("exp", "", "experiment id or comma-separated ids (see -list), or 'all'")
+		list      = fs.Bool("list", false, "list experiment ids")
+		seed      = fs.Int64("seed", 1, "RNG seed")
+		hours     = fs.Float64("hours", 12, "workload length in hours")
+		rate      = fs.Float64("rate", 0.8, "task arrival rate (tasks/second)")
+		scale     = fs.Int("scale", 40, "cluster scale divisor")
+		cluster   = fs.String("cluster", "tableii", "cluster: tableii | googlelike")
+		full      = fs.Bool("full-series", false, "print full series (default: summaries only)")
+		epsilon   = fs.Float64("epsilon", 0, "container-sizing overflow bound (0 = default 0.25)")
+		parallel  = fs.Int("parallel", 1, "experiments to run concurrently (>= 1)")
+		golden    = fs.String("golden", "", "golden mode: 'write' records per-experiment renderings, 'check' diffs against them")
+		goldenDir = fs.String("golden-dir", filepath.Join("testdata", "golden"), "directory for golden files")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *golden {
+	case "", "write", "check":
+	default:
+		return fmt.Errorf("invalid -golden %q: must be 'write' or 'check'", *golden)
 	}
 
 	if *list {
@@ -67,9 +78,19 @@ func run(args []string, out io.Writer) error {
 	for _, id := range harmony.ExperimentIDs() {
 		known[id] = true
 	}
-	ids := []string{*exp}
+	var ids []string
 	if *exp == "all" {
 		ids = harmony.ExperimentIDs()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("missing -exp (use -list to see ids)")
 	}
 	for _, id := range ids {
 		if !known[id] {
@@ -92,7 +113,8 @@ func run(args []string, out io.Writer) error {
 	// The Env is race-safe (Once-guarded caches), so independent
 	// experiment ids fan out across workers; rendered text is collected
 	// per id and printed in input order so the output is byte-identical
-	// to a sequential run.
+	// to a sequential run. Golden mode always records the full rendering,
+	// so the series data is what gets diffed.
 	texts := make([]string, len(ids))
 	errs := make([]error, len(ids))
 	sem := make(chan struct{}, *parallel)
@@ -108,7 +130,7 @@ func run(args []string, out io.Writer) error {
 				errs[i] = fmt.Errorf("experiment %s: %w", id, err)
 				return
 			}
-			if *full {
+			if *full || *golden != "" {
 				texts[i] = result.Render()
 			} else {
 				texts[i] = summarize(result)
@@ -120,9 +142,62 @@ func run(args []string, out io.Writer) error {
 		if errs[i] != nil {
 			return errs[i]
 		}
+	}
+	if *golden != "" {
+		return runGolden(*golden, *goldenDir, ids, texts, out)
+	}
+	for i := range ids {
 		fmt.Fprint(out, texts[i])
 	}
 	return nil
+}
+
+// runGolden writes or checks per-experiment golden files: one
+// <dir>/<id>.txt per experiment holding its full rendering.
+func runGolden(mode, dir string, ids, texts []string, out io.Writer) error {
+	if mode == "write" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for i, id := range ids {
+			path := filepath.Join(dir, id+".txt")
+			if err := os.WriteFile(path, []byte(texts[i]), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "golden: wrote %s\n", path)
+		}
+		return nil
+	}
+	var stale []string
+	for i, id := range ids {
+		path := filepath.Join(dir, id+".txt")
+		want, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("golden: %w (record with -golden write)", err)
+		}
+		if string(want) != texts[i] {
+			stale = append(stale, id)
+			fmt.Fprintf(out, "golden: %s differs from %s%s\n", id, path, firstDiff(string(want), texts[i]))
+			continue
+		}
+		fmt.Fprintf(out, "golden: %s ok\n", id)
+	}
+	if len(stale) > 0 {
+		return fmt.Errorf("golden mismatch for %s (intentional changes: rerun with -golden write)",
+			strings.Join(stale, ", "))
+	}
+	return nil
+}
+
+// firstDiff locates the first line where the two renderings diverge.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf(" (line %d: %q vs %q)", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf(" (length %d vs %d lines)", len(wl), len(gl))
 }
 
 func summarize(e *harmony.Experiment) string {

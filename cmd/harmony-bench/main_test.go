@@ -2,6 +2,8 @@ package main
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -20,6 +22,9 @@ func TestRunFlagErrors(t *testing.T) {
 		{"negative parallel", []string{"-exp", "fig9", "-parallel", "-3"}, "invalid -parallel"},
 		{"non-numeric parallel", []string{"-exp", "fig9", "-parallel", "lots"}, "invalid value"},
 		{"undefined flag", []string{"-exp", "fig9", "-bogus"}, "flag provided but not defined"},
+		{"bad golden mode", []string{"-exp", "fig9", "-golden", "verify"}, "invalid -golden"},
+		{"unknown id in list", []string{"-exp", "fig9,fig999"}, "unknown experiment"},
+		{"only commas", []string{"-exp", ",,"}, "missing -exp"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -55,5 +60,74 @@ func TestRunStaticExperimentParallel(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "fig9") {
 		t.Errorf("fig9 output missing header: %q", b.String())
+	}
+}
+
+// Comma-separated ids run in input order, like separate invocations.
+func TestRunCommaSeparatedExperiments(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "fig1, fig9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	i1 := strings.Index(b.String(), "fig1")
+	i9 := strings.Index(b.String(), "fig9")
+	if i1 < 0 || i9 < 0 || i9 < i1 {
+		t.Errorf("expected fig1 before fig9 in output:\n%s", b.String())
+	}
+}
+
+func TestGoldenWriteCheckRoundtrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "golden")
+	var b strings.Builder
+	if err := run([]string{"-exp", "fig1,fig9", "-golden", "write", "-golden-dir", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig1", "fig9"} {
+		if _, err := os.Stat(filepath.Join(dir, id+".txt")); err != nil {
+			t.Errorf("golden file for %s not written: %v", id, err)
+		}
+	}
+
+	// Unchanged inputs pass the check.
+	b.Reset()
+	if err := run([]string{"-exp", "fig1,fig9", "-golden", "check", "-golden-dir", dir}, &b); err != nil {
+		t.Fatalf("check after write: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "fig1 ok") || !strings.Contains(b.String(), "fig9 ok") {
+		t.Errorf("check output: %s", b.String())
+	}
+
+	// A tampered golden fails the check and names the experiment.
+	tampered := filepath.Join(dir, "fig9.txt")
+	if err := os.WriteFile(tampered, []byte("stale rendering\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	err := run([]string{"-exp", "fig1,fig9", "-golden", "check", "-golden-dir", dir}, &b)
+	if err == nil || !strings.Contains(err.Error(), "fig9") {
+		t.Fatalf("tampered golden not caught: err=%v\n%s", err, b.String())
+	}
+	if strings.Contains(err.Error(), "fig1,") {
+		t.Errorf("untampered fig1 flagged: %v", err)
+	}
+
+	// A missing golden is an error, not a silent pass.
+	if err := os.Remove(tampered); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "fig9", "-golden", "check", "-golden-dir", dir}, io.Discard); err == nil {
+		t.Error("missing golden file passed the check")
+	}
+}
+
+// TestCommittedGoldens guards the repository's own golden files: the fast
+// deterministic experiments must reproduce them exactly.
+func TestCommittedGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping experiment regeneration in -short mode")
+	}
+	var b strings.Builder
+	if err := run([]string{"-exp", "fig1,fig9,fig10-12", "-golden", "check"}, &b); err != nil {
+		t.Fatalf("committed goldens stale: %v\n%s", err, b.String())
 	}
 }

@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"harmony/internal/classify"
@@ -14,22 +15,27 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "harmony-classify:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the testable entry point: args are parsed with ContinueOnError
+// and all report output goes to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("harmony-classify", flag.ContinueOnError)
 	var (
-		in      = flag.String("trace", "", "input trace file (JSON lines, from tracegen)")
-		out     = flag.String("o", "", "write the characterization JSON to this file")
-		maxK    = flag.Int("max-classes", 12, "maximum classes per priority group")
-		gain    = flag.Float64("elbow-gain", 0.05, "elbow threshold for choosing k")
-		seed    = flag.Int64("seed", 1, "clustering seed")
-		verbose = flag.Bool("v", false, "also print per-class duration sub-classes")
+		in      = fs.String("trace", "", "input trace file (JSON lines, from tracegen)")
+		outPath = fs.String("o", "", "write the characterization JSON to this file")
+		maxK    = fs.Int("max-classes", 12, "maximum classes per priority group")
+		gain    = fs.Float64("elbow-gain", 0.05, "elbow threshold for choosing k")
+		seed    = fs.Int64("seed", 1, "clustering seed")
+		verbose = fs.Bool("v", false, "also print per-class duration sub-classes")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
 		return fmt.Errorf("missing -trace (generate one with tracegen)")
 	}
@@ -56,11 +62,11 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("%d tasks -> %d classes, %d task types\n",
+	fmt.Fprintf(out, "%d tasks -> %d classes, %d task types\n",
 		len(tr.Tasks), len(ch.Classes), len(ch.TaskTypes()))
 	for i := range ch.Classes {
 		c := &ch.Classes[i]
-		fmt.Printf("class %3d [%-10s] cpu %.4f±%.4f mem %.4f±%.4f tasks %6d\n",
+		fmt.Fprintf(out, "class %3d [%-10s] cpu %.4f±%.4f mem %.4f±%.4f tasks %6d\n",
 			c.ID, c.Group, c.CPU, c.CPUStd, c.Mem, c.MemStd, c.Count)
 		if *verbose {
 			for si, sub := range c.Sub {
@@ -68,14 +74,14 @@ func run() error {
 				if si > 0 {
 					kind = "long"
 				}
-				fmt.Printf("    %-5s mean %9.1fs cv2 %6.2f max %10.1fs tasks %6d\n",
+				fmt.Fprintf(out, "    %-5s mean %9.1fs cv2 %6.2f max %10.1fs tasks %6d\n",
 					kind, sub.MeanDuration, sub.SqCV, sub.MaxDuration, sub.Count)
 			}
 		}
 	}
 
-	if *out != "" {
-		of, err := os.Create(*out)
+	if *outPath != "" {
+		of, err := os.Create(*outPath)
 		if err != nil {
 			return err
 		}
@@ -83,7 +89,7 @@ func run() error {
 		if err := classify.Save(of, ch); err != nil {
 			return err
 		}
-		fmt.Printf("characterization saved to %s\n", *out)
+		fmt.Fprintf(out, "characterization saved to %s\n", *outPath)
 	}
 	return nil
 }

@@ -1,0 +1,118 @@
+// Command harmonyd runs the HARMONY control loop as a long-running
+// online provisioning daemon: tasks stream in over POST /v1/tasks
+// (JSON object, array, or NDJSON), each control period the incremental
+// pipeline (classification → forecast → M/G/c sizing → CBS/MPC →
+// packing) refreshes the machine plan, and the current plan, stats, and
+// Prometheus-style metrics are served over HTTP. SIGINT/SIGTERM trigger
+// a graceful shutdown: the ingest queue is flushed, a final tick runs,
+// and the final plan is written to stdout.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"harmony/internal/classify"
+	"harmony/internal/core"
+	"harmony/internal/daemon"
+	"harmony/internal/energy"
+	"harmony/internal/trace"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "harmonyd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: args are parsed with ContinueOnError,
+// the final plan goes to out, and ready (when non-nil) receives the bound
+// listen address.
+func run(ctx context.Context, args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("harmonyd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "HTTP listen address")
+		charPath = fs.String("char", "", "characterization JSON (from harmony-classify -o); required")
+		scale    = fs.Int("scale", 100, "divide the Table II cluster size by this factor")
+		mode     = fs.String("mode", "CBS", "container mode: CBS (spread) or CBP (pack)")
+		period   = fs.Float64("period", 300, "control period in model-time seconds")
+		horizon  = fs.Int("horizon", 2, "MPC look-ahead periods")
+		tickWall = fs.Duration("tick-every", 0, "wall-clock interval between automatic ticks (0 = tick only via POST /v1/tick)")
+		deadline = fs.Duration("tick-deadline", 30*time.Second, "per-tick solve deadline")
+		queue    = fs.Int("queue", 65536, "ingest queue capacity (excess tasks get 429)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *charPath == "" {
+		return fmt.Errorf("missing -char (run harmony-classify -o to create one)")
+	}
+	var coreMode core.Mode
+	switch *mode {
+	case "CBS", "cbs":
+		coreMode = core.CBS
+	case "CBP", "cbp":
+		coreMode = core.CBP
+	default:
+		return fmt.Errorf("unknown -mode %q (want CBS or CBP)", *mode)
+	}
+
+	f, err := os.Open(*charPath)
+	if err != nil {
+		return err
+	}
+	ch, err := classify.Load(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("load characterization: %w", err)
+	}
+
+	models := energy.TableII()
+	machines := make([]trace.MachineType, len(models))
+	for i := range models {
+		if *scale > 1 {
+			models[i].Count /= *scale
+			if models[i].Count < 1 {
+				models[i].Count = 1
+			}
+		}
+		machines[i] = models[i].MachineType(i + 1)
+	}
+
+	eng, err := daemon.NewEngine(daemon.Config{
+		Machines:      machines,
+		Models:        models,
+		Char:          ch,
+		Mode:          coreMode,
+		PeriodSeconds: *period,
+		Horizon:       *horizon,
+	})
+	if err != nil {
+		return err
+	}
+	d, err := daemon.NewDaemon(eng, daemon.RunConfig{
+		Addr:      *addr,
+		TickEvery: *tickWall,
+		Server: daemon.ServerConfig{
+			QueueSize:    *queue,
+			TickDeadline: *deadline,
+		},
+		FinalPlan: out,
+		Log:       log.New(os.Stderr, "", log.LstdFlags),
+		Ready:     ready,
+	})
+	if err != nil {
+		return err
+	}
+	return d.Run(ctx)
+}

@@ -1,8 +1,10 @@
 package classify
 
 import (
+	"math"
 	"testing"
 
+	"harmony/internal/kmeans"
 	"harmony/internal/trace"
 )
 
@@ -255,5 +257,124 @@ func TestCharacterizeOnGeneratedTrace(t *testing.T) {
 		if id := ch.Label(task); id < 0 || ch.Classes[id].Group != task.Group() {
 			t.Fatalf("bad label for %+v", task)
 		}
+	}
+}
+
+// TestRefreshBoundaryExact pins the relabel boundary semantics on a
+// hand-built characterization: the short→long upgrade requires the
+// observed age to strictly exceed the short sub-class's MaxDuration.
+func TestRefreshBoundaryExact(t *testing.T) {
+	ch := &Characterization{
+		Classes: []Class{
+			{
+				ID: 0, Group: trace.Gratis,
+				CPU: 0.02, Mem: 0.02,
+				Sub: []SubClass{
+					{MeanDuration: 60, SqCV: 1.2, MaxDuration: 100, Count: 90},
+					{MeanDuration: 5000, SqCV: 0.5, MaxDuration: 20000, Count: 10},
+				},
+				logCentroid: kmeans.Point{-3.9, -3.9},
+			},
+			{
+				ID: 1, Group: trace.Gratis,
+				CPU: 0.2, Mem: 0.2,
+				Sub: []SubClass{
+					{MeanDuration: 30, SqCV: 1.0, MaxDuration: 50, Count: 40},
+				},
+				logCentroid: kmeans.Point{-1.6, -1.6},
+			},
+		},
+	}
+	ch.byGroup[trace.Gratis.Index()] = []int{0, 1}
+	l := NewLabeler(ch)
+
+	short := TypeID{Class: 0, Sub: 0}
+	// Exactly at the boundary: stays short (the boundary is the largest
+	// duration observed among short members, so age == MaxDuration is
+	// still consistent with a short task).
+	if got := l.Refresh(short, 100); got != short {
+		t.Errorf("age == MaxDuration relabeled to %+v", got)
+	}
+	// The smallest representable step above the boundary upgrades.
+	justOver := math.Nextafter(100, 200)
+	if got := l.Refresh(short, justOver); got != (TypeID{Class: 0, Sub: 1}) {
+		t.Errorf("age just over boundary = %+v, want long", got)
+	}
+	// A class without a long sub-class never upgrades, whatever the age.
+	single := TypeID{Class: 1, Sub: 0}
+	if got := l.Refresh(single, 1e12); got != single {
+		t.Errorf("single-sub class relabeled to %+v", got)
+	}
+	// Out-of-range class indices pass through untouched.
+	over := TypeID{Class: 2, Sub: 0}
+	if got := l.Refresh(over, 1e12); got != over {
+		t.Errorf("out-of-range class mutated to %+v", got)
+	}
+}
+
+// TestRefreshAfterInitial walks the full online sequence: classification
+// on arrival, then age-driven refreshes as the task keeps running.
+func TestRefreshAfterInitial(t *testing.T) {
+	ch, err := Characterize(syntheticTrace(), Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLabeler(ch)
+	task := trace.Task{CPU: 0.01, Mem: 0.01, Priority: 0}
+	id, ok := l.Initial(task)
+	if !ok || id.Sub != 0 {
+		t.Fatalf("Initial = %+v, %v", id, ok)
+	}
+	c := &ch.Classes[id.Class]
+	if len(c.Sub) < 2 {
+		t.Skip("class did not split; relabel not applicable")
+	}
+	boundary := c.Sub[0].MaxDuration
+	// Monotone ages crossing the boundary: the label changes exactly
+	// once and then sticks.
+	ages := []float64{boundary / 4, boundary / 2, boundary, boundary * 1.5, boundary * 10}
+	changes := 0
+	cur := id
+	for _, age := range ages {
+		next := l.Refresh(cur, age)
+		if next != cur {
+			changes++
+			if next.Class != cur.Class || next.Sub != 1 {
+				t.Fatalf("refresh at age %v produced %+v", age, next)
+			}
+		}
+		cur = next
+	}
+	if changes != 1 {
+		t.Errorf("label changed %d times, want 1", changes)
+	}
+}
+
+// TestInitialEmptyGroup covers the classless-group path: tasks whose
+// priority group produced no classes cannot be labeled.
+func TestInitialEmptyGroup(t *testing.T) {
+	ch := &Characterization{
+		Classes: []Class{{
+			ID: 0, Group: trace.Gratis,
+			Sub:         []SubClass{{MeanDuration: 60, MaxDuration: 100, Count: 1}},
+			logCentroid: kmeans.Point{-3.9, -3.9},
+		}},
+	}
+	ch.byGroup[trace.Gratis.Index()] = []int{0}
+	l := NewLabeler(ch)
+
+	// Production has no classes: Initial must report failure with the
+	// zero TypeID, and Label must return -1.
+	prod := trace.Task{CPU: 0.1, Mem: 0.1, Priority: 10}
+	id, ok := l.Initial(prod)
+	if ok || id != (TypeID{}) {
+		t.Errorf("Initial on empty group = %+v, %v", id, ok)
+	}
+	if got := ch.Label(prod); got != -1 {
+		t.Errorf("Label on empty group = %d, want -1", got)
+	}
+	// The populated group still labels.
+	if _, ok := l.Initial(trace.Task{CPU: 0.02, Mem: 0.02, Priority: 0}); !ok {
+		t.Error("gratis task unlabeled")
 	}
 }

@@ -1,0 +1,117 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+)
+
+// RunConfig parameterizes a daemon process.
+type RunConfig struct {
+	// Addr is the listen address (e.g. ":8080"). Required.
+	Addr string
+	// TickEvery is the wall-clock interval between automatic control
+	// ticks. 0 disables automatic ticks (they can still be forced via
+	// POST /v1/tick) — useful for tests and replay drivers.
+	TickEvery time.Duration
+	// Server holds the HTTP front-end options.
+	Server ServerConfig
+	// FinalPlan, when non-nil, receives the final plan as JSON during
+	// graceful shutdown.
+	FinalPlan io.Writer
+	// Log receives operational messages; log.Default() when nil.
+	Log *log.Logger
+	// Ready, when non-nil, is closed once the listener is bound; the
+	// bound address is stored in BoundAddr first. For tests and for
+	// ":0" listeners.
+	Ready chan<- string
+}
+
+// Daemon couples an Engine with its HTTP server and run loop.
+type Daemon struct {
+	eng *Engine
+	srv *Server
+	cfg RunConfig
+}
+
+// NewDaemon builds a daemon around an engine.
+func NewDaemon(eng *Engine, cfg RunConfig) (*Daemon, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("daemon: listen address required")
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.Default()
+	}
+	return &Daemon{eng: eng, srv: NewServer(eng, cfg.Server), cfg: cfg}, nil
+}
+
+// Run serves until ctx is cancelled (SIGINT/SIGTERM when the caller wires
+// signal.NotifyContext), then shuts down gracefully: the ingest queue is
+// flushed, one final control tick runs under the tick deadline so the
+// last arrival window is provisioned, the final plan is written to
+// cfg.FinalPlan, and the HTTP listener drains.
+func (d *Daemon) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", d.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("daemon: listen %s: %w", d.cfg.Addr, err)
+	}
+	httpSrv := &http.Server{Handler: d.srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	d.cfg.Log.Printf("harmonyd: listening on %s (period %.0fs, %d task types)",
+		ln.Addr(), d.eng.PeriodSeconds(), d.eng.NumTaskTypes())
+	if d.cfg.Ready != nil {
+		d.cfg.Ready <- ln.Addr().String()
+		close(d.cfg.Ready)
+	}
+
+	var tickC <-chan time.Time
+	if d.cfg.TickEvery > 0 {
+		ticker := time.NewTicker(d.cfg.TickEvery)
+		defer ticker.Stop()
+		tickC = ticker.C
+	}
+
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case err := <-serveErr:
+			return fmt.Errorf("daemon: serve: %w", err)
+		case <-tickC:
+			if _, err := d.srv.ForceTick(context.Background()); err != nil {
+				d.cfg.Log.Printf("harmonyd: tick: %v", err)
+			}
+		}
+	}
+
+	// Graceful shutdown: final flush + tick + plan dump, bounded by the
+	// tick deadline, then listener drain.
+	d.cfg.Log.Printf("harmonyd: shutting down")
+	if _, err := d.srv.ForceTick(context.Background()); err != nil {
+		d.cfg.Log.Printf("harmonyd: final tick: %v", err)
+	}
+	if d.cfg.FinalPlan != nil {
+		if plan, err := d.eng.Plan(); err == nil {
+			enc := json.NewEncoder(d.cfg.FinalPlan)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(plan); err != nil {
+				d.cfg.Log.Printf("harmonyd: final plan: %v", err)
+			}
+		}
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), d.srv.cfg.TickDeadline)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("daemon: shutdown: %w", err)
+	}
+	<-serveErr // http.ErrServerClosed
+	return nil
+}

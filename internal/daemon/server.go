@@ -1,0 +1,284 @@
+package daemon
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"harmony/internal/metrics"
+	"harmony/internal/trace"
+)
+
+// ServerConfig parameterizes the HTTP front-end.
+type ServerConfig struct {
+	// QueueSize bounds the ingest queue; tasks beyond it are rejected
+	// with 429 (default 65536).
+	QueueSize int
+	// TickDeadline bounds each control-loop solve (default 30s).
+	TickDeadline time.Duration
+
+	// startWorker exists for tests that need the queue to stay full.
+	startWorker *bool
+}
+
+func (cfg *ServerConfig) defaults() {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 65536
+	}
+	if cfg.TickDeadline <= 0 {
+		cfg.TickDeadline = 30 * time.Second
+	}
+}
+
+// ingestItem is one unit on the ingest queue: a task, or a barrier that
+// closes its channel once every earlier item has been applied.
+type ingestItem struct {
+	task    trace.Task
+	barrier chan struct{}
+}
+
+// Server is the HTTP front-end of the daemon: streaming ingest with
+// backpressure, the plan/stats endpoints, and Prometheus-style metrics.
+type Server struct {
+	eng *Engine
+	cfg ServerConfig
+	mux *http.ServeMux
+
+	queue chan ingestItem
+
+	mQueueDepth *metrics.Gauge
+	mRejected   *metrics.Counter
+	mIngestErrs *metrics.Counter
+	mPanics     *metrics.Counter
+	mRequests   *metrics.CounterVec
+}
+
+// NewServer wires the engine behind the HTTP API and starts the ingest
+// worker that drains the bounded queue into the engine.
+func NewServer(eng *Engine, cfg ServerConfig) *Server {
+	cfg.defaults()
+	s := &Server{
+		eng:   eng,
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		queue: make(chan ingestItem, cfg.QueueSize),
+	}
+	r := eng.cfg.Registry
+	s.mQueueDepth = r.Gauge("harmonyd_ingest_queue_depth", "Tasks waiting on the ingest queue.")
+	s.mRejected = r.Counter("harmonyd_ingest_rejected_total", "Tasks rejected with 429 because the ingest queue was full.")
+	s.mIngestErrs = r.Counter("harmonyd_ingest_invalid_total", "Tasks rejected because they failed validation.")
+	s.mPanics = r.Counter("harmonyd_panics_recovered_total", "Panics recovered by the HTTP middleware.")
+	s.mRequests = r.CounterVec("harmonyd_http_requests_total", "HTTP requests served, by route.", "route")
+
+	s.mux.HandleFunc("POST /v1/tasks", s.handleTasks)
+	s.mux.HandleFunc("POST /v1/tick", s.handleTick)
+	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	if cfg.startWorker == nil || *cfg.startWorker {
+		go s.ingestWorker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler with panic recovery around the mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.mPanics.Inc()
+			writeJSONError(w, http.StatusInternalServerError, fmt.Sprintf("panic: %v", v))
+		}
+	}()
+	s.mRequests.With(r.URL.Path).Inc()
+	s.mux.ServeHTTP(w, r)
+}
+
+// ingestWorker drains the queue into the engine.
+func (s *Server) ingestWorker() {
+	for item := range s.queue {
+		if item.barrier != nil {
+			close(item.barrier)
+			continue
+		}
+		if err := s.eng.Ingest(item.task); err != nil {
+			s.mIngestErrs.Inc()
+		}
+		s.mQueueDepth.Set(float64(len(s.queue)))
+	}
+}
+
+// Flush blocks until every task enqueued before the call has been applied
+// to the engine. It is what makes a forced tick observe all prior POSTs.
+func (s *Server) Flush() {
+	done := make(chan struct{})
+	s.queue <- ingestItem{barrier: done}
+	<-done
+}
+
+// enqueue pushes tasks onto the bounded queue, stopping at the first one
+// that does not fit. It returns how many were accepted.
+func (s *Server) enqueue(tasks []trace.Task) int {
+	for i, t := range tasks {
+		select {
+		case s.queue <- ingestItem{task: t}:
+		default:
+			s.mQueueDepth.Set(float64(len(s.queue)))
+			return i
+		}
+	}
+	s.mQueueDepth.Set(float64(len(s.queue)))
+	return len(tasks)
+}
+
+// decodeTasks parses the request body: a single JSON task object, a JSON
+// array of tasks, or an NDJSON stream of task objects.
+func decodeTasks(r io.Reader) ([]trace.Task, error) {
+	br := bufio.NewReader(r)
+	first, err := peekNonSpace(br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("empty body")
+		}
+		return nil, err
+	}
+	dec := json.NewDecoder(br)
+	var tasks []trace.Task
+	if first == '[' {
+		if _, err := dec.Token(); err != nil { // consume '['
+			return nil, err
+		}
+		for dec.More() {
+			var t trace.Task
+			if err := dec.Decode(&t); err != nil {
+				return nil, fmt.Errorf("task %d: %w", len(tasks), err)
+			}
+			tasks = append(tasks, t)
+		}
+		if _, err := dec.Token(); err != nil { // consume ']'
+			return nil, err
+		}
+		return tasks, nil
+	}
+	if first != '{' {
+		return nil, fmt.Errorf("expected a task object, array, or NDJSON stream")
+	}
+	// Stream of objects: covers both the single-object and NDJSON cases.
+	for {
+		var t trace.Task
+		if err := dec.Decode(&t); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("task %d: %w", len(tasks), err)
+		}
+		tasks = append(tasks, t)
+	}
+	return tasks, nil
+}
+
+// peekNonSpace returns the first non-whitespace byte without consuming it.
+func peekNonSpace(br *bufio.Reader) (byte, error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		}
+		if err := br.UnreadByte(); err != nil {
+			return 0, err
+		}
+		return b, nil
+	}
+}
+
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	tasks, err := decodeTasks(r.Body)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	accepted := s.enqueue(tasks)
+	resp := ingestResponse{Accepted: accepted, Rejected: len(tasks) - accepted}
+	if resp.Rejected > 0 {
+		s.mRejected.Add(float64(resp.Rejected))
+		resp.Error = "ingest queue full"
+		writeJSON(w, http.StatusTooManyRequests, resp)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// ForceTick flushes the ingest queue and runs one control-period tick
+// under the configured deadline.
+func (s *Server) ForceTick(parent context.Context) (*Plan, error) {
+	s.Flush()
+	ctx, cancel := context.WithTimeout(parent, s.cfg.TickDeadline)
+	defer cancel()
+	return s.eng.Tick(ctx)
+}
+
+func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
+	plan, err := s.ForceTick(r.Context())
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, plan)
+	case errors.Is(err, ErrTickInFlight):
+		writeJSONError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSONError(w, http.StatusGatewayTimeout, err.Error())
+	default:
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, _ *http.Request) {
+	plan, err := s.eng.Plan()
+	if err != nil {
+		writeJSONError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, plan)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	stats := s.eng.Snapshot()
+	writeJSON(w, http.StatusOK, struct {
+		Stats
+		QueueDepth    int `json:"queueDepth"`
+		QueueCapacity int `json:"queueCapacity"`
+	}{stats, len(s.queue), cap(s.queue)})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(w, s.eng.cfg.Registry.Render())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,278 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"harmony/internal/trace"
+)
+
+func newTestServer(t *testing.T, cfg ServerConfig) (*Server, *Engine) {
+	t.Helper()
+	eng, err := NewEngine(testEngineConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(eng, cfg), eng
+}
+
+func taskNDJSON(tasks ...trace.Task) string {
+	var sb strings.Builder
+	for _, task := range tasks {
+		b, _ := json.Marshal(task)
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func TestDecodeTasksFormats(t *testing.T) {
+	one := gratisTask(1, 10, 60)
+	two := gratisTask(2, 20, 60)
+	oneJSON, _ := json.Marshal(one)
+	twoJSON, _ := json.Marshal(two)
+
+	tests := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"single object", string(oneJSON), 1},
+		{"array", fmt.Sprintf("[%s, %s]", oneJSON, twoJSON), 2},
+		{"ndjson", taskNDJSON(one, two), 2},
+		{"leading whitespace", "\n\t " + string(oneJSON), 1},
+		{"empty array", "[]", 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tasks, err := decodeTasks(strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tasks) != tc.want {
+				t.Errorf("decoded %d tasks, want %d", len(tasks), tc.want)
+			}
+			if tc.want > 0 && tasks[0].ID != 1 {
+				t.Errorf("first task = %+v", tasks[0])
+			}
+		})
+	}
+
+	for _, bad := range []string{"", "   ", "not json", "42", `{"id":}`} {
+		if _, err := decodeTasks(strings.NewReader(bad)); err == nil {
+			t.Errorf("decoded garbage %q", bad)
+		}
+	}
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	s, eng := newTestServer(t, ServerConfig{})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/tasks", "application/x-ndjson",
+		strings.NewReader(taskNDJSON(gratisTask(1, 10, 60), gratisTask(2, 20, 60))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var ir ingestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted != 2 || ir.Rejected != 0 {
+		t.Errorf("response = %+v", ir)
+	}
+	s.Flush()
+	if got := eng.Snapshot().TasksIngested; got != 2 {
+		t.Errorf("ingested = %d", got)
+	}
+
+	// Malformed body is a 400.
+	resp, err = http.Post(srv.URL+"/v1/tasks", "application/json", strings.NewReader("nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage status = %d", resp.StatusCode)
+	}
+}
+
+func TestIngestBackpressure429(t *testing.T) {
+	off := false
+	s, _ := newTestServer(t, ServerConfig{QueueSize: 4, startWorker: &off})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	var tasks []trace.Task
+	for i := 0; i < 10; i++ {
+		tasks = append(tasks, gratisTask(uint64(i), float64(i), 60))
+	}
+	resp, err := http.Post(srv.URL+"/v1/tasks", "application/x-ndjson",
+		strings.NewReader(taskNDJSON(tasks...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	var ir ingestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted != 4 || ir.Rejected != 6 || ir.Error == "" {
+		t.Errorf("response = %+v", ir)
+	}
+
+	// The queue drains once the worker runs, and draining frees capacity.
+	go s.ingestWorker()
+	s.Flush()
+	resp, err = http.Post(srv.URL+"/v1/tasks", "application/x-ndjson",
+		strings.NewReader(taskNDJSON(gratisTask(99, 99, 60))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("post-drain status = %d", resp.StatusCode)
+	}
+}
+
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	s, _ := newTestServer(t, ServerConfig{})
+	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body["error"], "kaboom") {
+		t.Errorf("error = %q", body["error"])
+	}
+	// The server keeps serving after the panic.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz after panic = %d", resp.StatusCode)
+	}
+}
+
+func TestTickPlanStatsMetricsEndpoints(t *testing.T) {
+	s, _ := newTestServer(t, ServerConfig{})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// No plan before the first tick.
+	resp, err := http.Get(srv.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("plan before tick = %d", resp.StatusCode)
+	}
+
+	var tasks []trace.Task
+	for i := 0; i < 30; i++ {
+		tasks = append(tasks, gratisTask(uint64(i), float64(i*10), 60))
+	}
+	resp, err = http.Post(srv.URL+"/v1/tasks", "application/x-ndjson",
+		strings.NewReader(taskNDJSON(tasks...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Forced tick returns the fresh plan (and has flushed the queue).
+	resp, err = http.Post(srv.URL+"/v1/tick", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tickPlan Plan
+	if err := json.NewDecoder(resp.Body).Decode(&tickPlan); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || tickPlan.PeriodIndex != 1 {
+		t.Fatalf("tick: status %d plan %+v", resp.StatusCode, tickPlan)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotPlan Plan
+	if err := json.NewDecoder(resp.Body).Decode(&gotPlan); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if gotPlan.PeriodIndex != 1 || gotPlan.TotalActive != tickPlan.TotalActive {
+		t.Errorf("plan = %+v, tick returned %+v", gotPlan, tickPlan)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Stats
+		QueueDepth    int `json:"queueDepth"`
+		QueueCapacity int `json:"queueCapacity"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.TasksIngested != 30 || stats.Ticks != 1 || stats.QueueCapacity != 65536 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# HELP harmonyd_tasks_ingested_total",
+		"harmonyd_ticks_total 1",
+		"harmonyd_machines_active",
+		"harmonyd_tick_duration_seconds_bucket",
+		"harmonyd_ingest_queue_depth",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tasks_total", "tasks ingested")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("queue_depth", "current depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %v, want 4", got)
+	}
+	// Re-registering returns the same instance.
+	if r.Counter("tasks_total", "tasks ingested") != c {
+		t.Error("re-registered counter is a different instance")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("tick_seconds", "tick latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Errorf("sum = %v, want 56.05", h.Sum())
+	}
+	out := r.Render()
+	for _, want := range []string{
+		`tick_seconds_bucket{le="0.1"} 1`,
+		`tick_seconds_bucket{le="1"} 3`,
+		`tick_seconds_bucket{le="10"} 4`,
+		`tick_seconds_bucket{le="+Inf"} 5`,
+		`tick_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecsAndRenderDeterminism(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("arrivals_total", "arrivals per group", "group")
+	cv.With("production").Add(10)
+	cv.With("gratis").Add(2)
+	gv := r.GaugeVec("active_machines", "powered machines per type", "type")
+	gv.With("1").Set(5)
+	r.Counter("zzz_last", "sorted last").Inc()
+
+	out := r.Render()
+	for _, want := range []string{
+		"# HELP arrivals_total arrivals per group\n# TYPE arrivals_total counter\n",
+		`arrivals_total{group="gratis"} 2`,
+		`arrivals_total{group="production"} 10`,
+		`active_machines{type="1"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Label values render sorted; metric names render sorted.
+	if strings.Index(out, `group="gratis"`) > strings.Index(out, `group="production"`) {
+		t.Error("label values not sorted")
+	}
+	if strings.Index(out, "arrivals_total") > strings.Index(out, "zzz_last") {
+		t.Error("metric families not sorted by name")
+	}
+	if out != r.Render() {
+		t.Error("render is not deterministic")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n", "")
+	h := r.Histogram("h", "", nil)
+	cv := r.CounterVec("v", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j))
+				cv.With("a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %v, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+	if cv.With("a").Value() != 8000 {
+		t.Errorf("vec counter = %v, want 8000", cv.With("a").Value())
+	}
+}

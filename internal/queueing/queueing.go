@@ -92,6 +92,20 @@ var waitEvals atomic.Int64
 // bracket the answer and then binary-searches the bracket: O(log c)
 // MGcWait evaluations, each itself O(c), instead of O(c) evaluations.
 func MinContainers(lambda, mu, sqCV, maxDelay float64) (int, error) {
+	return MinContainersHint(lambda, mu, sqCV, maxDelay, 0)
+}
+
+// WaitEvals returns the cumulative number of MGcWait evaluations performed
+// by the solver, for warm-start efficiency assertions in callers' tests.
+func WaitEvals() int64 { return waitEvals.Load() }
+
+// MinContainersHint is MinContainers warm-started: hint is a guess at the
+// answer (typically the previous control period's result for the same
+// class). The result is identical to MinContainers for every hint; a good
+// hint collapses the search to O(1) MGcWait evaluations (probe hint and
+// hint-1), and a wrong one costs only the gallop distance from the hint.
+// hint <= 0 disables warm-starting.
+func MinContainersHint(lambda, mu, sqCV, maxDelay float64, hint int) (int, error) {
 	if lambda < 0 || mu <= 0 || sqCV < 0 || maxDelay <= 0 {
 		return 0, fmt.Errorf("%w: lambda=%v mu=%v cv2=%v delay=%v",
 			ErrBadParam, lambda, mu, sqCV, maxDelay)
@@ -116,12 +130,43 @@ func MinContainers(lambda, mu, sqCV, maxDelay float64) (int, error) {
 	if w <= maxDelay {
 		return lo, nil
 	}
+	// The answer is now known to lie in (lo, ...]. Establish a bracket
+	// (bad, good] with W(bad) > maxDelay >= W(good), starting from the
+	// hint when one is given.
+	bad, good := lo, 0
+	gallopFrom := lo
+	if hint > maxContainers {
+		hint = maxContainers
+	}
+	if hint > lo {
+		w, err := eval(hint)
+		if err != nil {
+			return 0, err
+		}
+		if w <= maxDelay {
+			// Answer in (lo, hint]. Fast path: an exact hint is
+			// confirmed by a single probe of hint-1.
+			if hint-1 == lo {
+				return hint, nil // W(lo) already failed above
+			}
+			w1, err := eval(hint - 1)
+			if err != nil {
+				return 0, err
+			}
+			if w1 > maxDelay {
+				return hint, nil
+			}
+			good = hint - 1 // keep searching (lo, hint-1]
+		} else {
+			bad = hint
+			gallopFrom = hint
+		}
+	}
 	// Gallop: double the offset until the wait satisfies the SLO. On
 	// exit, bad is the largest probed count that violates the SLO and
 	// good the smallest probe that satisfies it.
-	bad, good := lo, 0
-	for step := 1; ; step *= 2 {
-		c := lo + step
+	for step := 1; good == 0; step *= 2 {
+		c := gallopFrom + step
 		if c > maxContainers {
 			c = maxContainers
 		}

@@ -347,3 +347,80 @@ func TestErlangCMatchesLogSpaceDirectSumLargeC(t *testing.T) {
 		}
 	}
 }
+
+// MinContainersHint must return exactly MinContainers' answer for every
+// hint — exact, near, wild, or out of range — and an exact hint must
+// collapse the search to a constant number of MGcWait evaluations.
+func TestMinContainersHintMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 300; i++ {
+		a := math.Exp(rng.Float64() * math.Log(20000))
+		mu := math.Exp(-(rng.Float64()*9 + 1))
+		lambda := a * mu
+		sqCV := rng.Float64() * 4
+		maxDelay := math.Exp(rng.Float64()*34-32) / mu
+
+		want, wantErr := MinContainers(lambda, mu, sqCV, maxDelay)
+		hints := []int{0, -5, want, want - 1, want + 1, want / 2, want * 2,
+			int(math.Floor(a)), maxContainers + 7, rng.Intn(40000)}
+		for _, hint := range hints {
+			got, gotErr := MinContainersHint(lambda, mu, sqCV, maxDelay, hint)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("case %d hint %d: err=%v, cold err=%v", i, hint, gotErr, wantErr)
+			}
+			if wantErr == nil && got != want {
+				t.Fatalf("case %d (λ=%g μ=%g cv²=%g d=%g) hint %d: c=%d, cold c=%d",
+					i, lambda, mu, sqCV, maxDelay, hint, got, want)
+			}
+		}
+	}
+}
+
+// An exact warm-start hint (the previous control period's answer under a
+// near-identical load) must cost at most 3 MGcWait evaluations — the
+// stability probe, the hint, and its confirming neighbor — where a cold
+// start pays the full gallop + binary search.
+func TestMinContainersHintEvalCounts(t *testing.T) {
+	cases := []struct {
+		lambda, mu, sqCV, maxDelay float64
+	}{
+		{lambda: 120, mu: 0.01, sqCV: 2, maxDelay: 1},      // answer far past stability
+		{lambda: 4000, mu: 0.05, sqCV: 1.5, maxDelay: 0.2}, // large system
+		{lambda: 9, mu: 0.003, sqCV: 3, maxDelay: 5},       // small system, tight SLO
+	}
+	for i, tc := range cases {
+		before := waitEvals.Load()
+		want, err := MinContainers(tc.lambda, tc.mu, tc.sqCV, tc.maxDelay)
+		coldEvals := int(waitEvals.Load() - before)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+
+		before = waitEvals.Load()
+		got, err := MinContainersHint(tc.lambda, tc.mu, tc.sqCV, tc.maxDelay, want)
+		hintEvals := int(waitEvals.Load() - before)
+		if err != nil || got != want {
+			t.Fatalf("case %d: hinted answer %d (err %v), want %d", i, got, err, want)
+		}
+		if hintEvals > 3 {
+			t.Errorf("case %d: exact hint cost %d evaluations, want <= 3", i, hintEvals)
+		}
+		if coldEvals > 4 && hintEvals >= coldEvals {
+			t.Errorf("case %d: exact hint cost %d evaluations, cold start %d — no saving",
+				i, hintEvals, coldEvals)
+		}
+
+		// A near hint (load drifted slightly since last period) still
+		// beats the cold start.
+		before = waitEvals.Load()
+		got, err = MinContainersHint(tc.lambda, tc.mu, tc.sqCV, tc.maxDelay, want+2)
+		nearEvals := int(waitEvals.Load() - before)
+		if err != nil || got != want {
+			t.Fatalf("case %d: near-hinted answer %d (err %v), want %d", i, got, err, want)
+		}
+		if coldEvals > 6 && nearEvals >= coldEvals {
+			t.Errorf("case %d: near hint cost %d evaluations, cold start %d — no saving",
+				i, nearEvals, coldEvals)
+		}
+	}
+}

@@ -95,6 +95,15 @@ type Harmony struct {
 	// attribution needs both.
 	shortSibling []int
 	longFrac     []float64
+	// solveHint[n] warm-starts the M/G/c container solver with the
+	// previous period's answer for type n; successive control periods
+	// see near-identical loads, so the hint usually lands within a
+	// probe or two of the new answer.
+	solveHint []int
+	// lastRates[n] is the most recent one-period-ahead arrival-rate
+	// forecast (tasks/s) for type n's class, recorded on short
+	// sub-types (where all arrivals land); long sub-types keep 0.
+	lastRates []float64
 }
 
 // NewHarmony validates the configuration and builds the policy.
@@ -240,6 +249,8 @@ func NewHarmony(cfg HarmonyConfig) (*Harmony, error) {
 	}
 	h.pressure = make([]float64, len(containers))
 	h.baseValue = make([]float64, len(containers))
+	h.solveHint = make([]int, len(cfg.Types))
+	h.lastRates = make([]float64, len(cfg.Types))
 	for i, c := range containers {
 		h.baseValue[i] = c.Value
 	}
@@ -360,6 +371,14 @@ func (h *Harmony) LastDemand() [][]float64 { return h.lastDemand }
 // LastDecision returns the most recent controller decision.
 func (h *Harmony) LastDecision() *core.Decision { return h.lastDec }
 
+// LastForecast returns the most recent one-period-ahead arrival-rate
+// forecast per task type (tasks/s). Rates are recorded on each class's
+// short sub-type — where the label-short-first policy lands every
+// arrival — and are 0 for long sub-types. The returned slice is a copy.
+func (h *Harmony) LastForecast() []float64 {
+	return append([]float64(nil), h.lastRates...)
+}
+
 // Period implements sim.Policy: record arrivals, forecast, size container
 // demand, and run one MPC step.
 func (h *Harmony) Period(obs *sim.Observation) sim.Directive {
@@ -476,9 +495,13 @@ func (h *Harmony) containerDemand(obs *sim.Observation) ([][]float64, error) {
 		if err != nil {
 			return nil, err
 		}
+		if h.shortSibling[n] == n {
+			h.lastRates[n] = rates[0]
+		}
 		pLong := h.longFrac[n]
 		mu := 1 / tt.MeanDuration
 		slo := h.cfg.SLODelay[tt.Group]
+		hint := h.solveHint[n]
 		row := make([]float64, h.cfg.Horizon)
 		for t := 0; t < h.cfg.Horizon; t++ {
 			lambda := rates[t]
@@ -500,9 +523,16 @@ func (h *Harmony) containerDemand(obs *sim.Observation) ([][]float64, error) {
 				}
 				lambda *= residual
 			}
-			c, err := queueing.MinContainers(lambda, mu, tt.SqCV, slo)
+			c, err := queueing.MinContainersHint(lambda, mu, tt.SqCV, slo, hint)
 			if err != nil {
 				return nil, fmt.Errorf("sched: containers for type %d: %w", n, err)
+			}
+			// Warm-start the next step (and, via solveHint, the next
+			// period) with this answer; successive solves within a
+			// horizon and across periods see near-identical loads.
+			hint = c
+			if t == 0 {
+				h.solveHint[n] = c
 			}
 			row[t] = float64(c) + math.Ceil(pinned)
 		}

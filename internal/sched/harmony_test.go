@@ -6,6 +6,7 @@ import (
 	"harmony/internal/classify"
 	"harmony/internal/core"
 	"harmony/internal/energy"
+	"harmony/internal/queueing"
 	"harmony/internal/sim"
 	"harmony/internal/trace"
 )
@@ -250,5 +251,44 @@ func TestHarmonyEndToEnd(t *testing.T) {
 		if res.EnergyKWh <= 0 {
 			t.Errorf("%v: no energy recorded", mode)
 		}
+	}
+}
+
+// Successive periods with near-identical loads must warm-start the M/G/c
+// container solver from the previous period's answers: the second period
+// spends strictly fewer MGcWait evaluations than the cold first period.
+func TestHarmonyWarmStartsContainerSolver(t *testing.T) {
+	h, err := NewHarmony(testHarmonyConfig(core.CBP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := func(i int) *sim.Observation {
+		return &sim.Observation{
+			Time:        float64(i) * 300,
+			PeriodIndex: i,
+			Arrivals:    []int{3000, 1200, 90},
+			Queued:      make([]int, 3),
+			Running:     make([]int, 3),
+			Active:      make([]int, 4),
+			Price:       0.08,
+		}
+	}
+	before := queueing.WaitEvals()
+	h.Period(obs(0))
+	cold := queueing.WaitEvals() - before
+	if h.Err() != nil {
+		t.Fatal(h.Err())
+	}
+	before = queueing.WaitEvals()
+	h.Period(obs(1))
+	warm := queueing.WaitEvals() - before
+	if h.Err() != nil {
+		t.Fatal(h.Err())
+	}
+	if cold == 0 || warm == 0 {
+		t.Fatalf("solver not exercised: cold=%d warm=%d evaluations", cold, warm)
+	}
+	if warm >= cold {
+		t.Errorf("warm period spent %d MGcWait evaluations, cold period %d — hint not used", warm, cold)
 	}
 }
