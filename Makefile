@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet lint test race bench check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# go vet plus the repo's own determinism/concurrency analyzers
+# (internal/lint, see DESIGN.md §9).
+lint: vet
+	$(GO) run ./cmd/harmony-lint ./...
 
 test:
 	$(GO) test ./...
@@ -18,4 +23,4 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-check: build vet race bench
+check: build lint race bench

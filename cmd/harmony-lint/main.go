@@ -1,0 +1,73 @@
+// Command harmony-lint runs the determinism and concurrency analyzers of
+// internal/lint over the module — the multichecker CI runs alongside go
+// vet. Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+//	harmony-lint [-analyzers a,b,...] [packages...]
+//
+// With no packages it checks ./... from the enclosing module root.
+// Findings can be suppressed in place with
+// `//harmony:allow <analyzer> <reason>` on the flagged line or the line
+// above it; see internal/lint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"harmony/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("harmony-lint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		names = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list  = fs.Bool("list", false, "list analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *names != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*names, ","))
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 2
+		}
+	}
+	if *list {
+		for _, az := range analyzers {
+			fmt.Fprintf(out, "%-14s %s\n", az.Name, az.Doc)
+		}
+		return 0
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 2
+	}
+	pkgs, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 2
+	}
+	diags := lint.Check(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errOut, "harmony-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

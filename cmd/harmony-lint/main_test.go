@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -list = %d, stderr %q", code, errOut.String())
+	}
+	for _, name := range []string{"floateq", "mutexspan", "nodeterm", "rngdiscipline", "sortedemit"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("run -nosuch = %d, want 2", code)
+	}
+	if errOut.Len() == 0 {
+		t.Error("expected usage output on stderr")
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-analyzers", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("run -analyzers nosuch = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr %q missing unknown-analyzer error", errOut.String())
+	}
+}
+
+// TestRunCleanPackage drives the real loader over a small deterministic
+// package that must be finding-free.
+func TestRunCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./internal/queueing"}, &out, &errOut); code != 0 {
+		t.Fatalf("run ./internal/queueing = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected findings:\n%s", out.String())
+	}
+}

@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"harmony"
 )
@@ -43,8 +44,8 @@ func run() error {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Printf("== %s: %s ==\n", exp.ID, exp.Title)
-		for k, v := range exp.Summary {
-			fmt.Printf("  %-40s %12.6g\n", k, v)
+		for _, k := range sortedKeys(exp.Summary) {
+			fmt.Printf("  %-40s %12.6g\n", k, exp.Summary[k])
 		}
 		fmt.Println()
 	}
@@ -54,10 +55,21 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	for k, v := range exp.Summary {
-		if v >= 100 {
+	for _, k := range sortedKeys(exp.Summary) {
+		if v := exp.Summary[k]; v >= 100 {
 			fmt.Printf("task sizes span orders of magnitude: %s = %.0fx\n", k, v)
 		}
 	}
 	return nil
+}
+
+// sortedKeys returns the map's keys in sorted order so the printed
+// summaries are deterministic run to run.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -91,6 +91,7 @@ func (c *Controller) Step(initialActive []float64, demand [][]float64, price []f
 	if err != nil {
 		return nil, err
 	}
+	//harmony:allow nodeterm debug-only dump hook; never influences the decision
 	if path := os.Getenv("HARMONY_DUMP_PLAN"); path != "" {
 		dumpPlanInput(in, path)
 	}

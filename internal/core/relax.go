@@ -153,11 +153,13 @@ func EffectiveSize(m MachineSpec, c ContainerSpec) (cpu, mem float64, ok bool) {
 		// Only charge the rounding loss in the dimension that limits k;
 		// the other dimension keeps its true size so mixed packing with
 		// small containers stays possible in the model.
+		//harmony:allow floateq exact by construction: k is one of these two Floor values
 		if k == math.Floor(m.CPU/(om*c.CPU)) {
 			cpu = perSlot
 		}
 	}
 	if perSlot := m.Mem / k; perSlot > mem {
+		//harmony:allow floateq exact by construction: k is one of these two Floor values
 		if k == math.Floor(m.Mem/(om*c.Mem)) {
 			mem = perSlot
 		}

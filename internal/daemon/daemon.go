@@ -73,6 +73,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 
 	var tickC <-chan time.Time
 	if d.cfg.TickEvery > 0 {
+		//harmony:allow nodeterm the run loop's tick cadence is genuinely wall-clock; Replay is the deterministic reference
 		ticker := time.NewTicker(d.cfg.TickEvery)
 		defer ticker.Stop()
 		tickC = ticker.C

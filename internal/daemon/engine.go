@@ -24,6 +24,7 @@ import (
 	"harmony/internal/classify"
 	"harmony/internal/core"
 	"harmony/internal/energy"
+	"harmony/internal/forecast"
 	"harmony/internal/metrics"
 	"harmony/internal/sched"
 	"harmony/internal/sim"
@@ -153,6 +154,10 @@ type Engine struct {
 	active       []int // machines powered per type (MPC state)
 	prevForecast []float64
 	stats        Stats
+	// arrHist[n] is the last backtestCap arrival windows (tasks/period)
+	// of short type n — the series ForecastBacktest evaluates. Long
+	// sub-types receive no direct arrivals and keep empty histories.
+	arrHist [][]float64
 
 	// solving serializes ticks without blocking ingest: the policy and
 	// MPC state transition are owned by whichever tick holds the flag.
@@ -247,6 +252,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		typeIdx:  typeIdx,
 		arrivals: make([]int, len(types)),
 		active:   make([]int, len(cfg.Machines)),
+		arrHist:  make([][]float64, len(types)),
 		policy:   policy,
 	}
 	e.stats.TasksByGroup = make(map[string]uint64, trace.NumGroups)
@@ -372,6 +378,18 @@ func (e *Engine) Tick(ctx context.Context) (*Plan, error) {
 	for i := range e.arrivals {
 		e.arrivals[i] = 0
 	}
+	// Record the closed window for the rolling-origin backtest; every
+	// direct arrival lands on a short sub-type under label-short-first.
+	for i := range arr {
+		if e.types[i].ID.Sub != 0 {
+			continue
+		}
+		h := append(e.arrHist[i], float64(arr[i]))
+		if len(h) > backtestCap {
+			h = h[len(h)-backtestCap:]
+		}
+		e.arrHist[i] = h
+	}
 	active := append([]int(nil), e.active...)
 	// Forecast accuracy: compare the previous tick's one-period-ahead
 	// rate forecast with this window's observed arrivals (short types
@@ -414,11 +432,11 @@ func (e *Engine) Tick(ctx context.Context) (*Plan, error) {
 		err  error
 	}
 	done := make(chan result, 1)
-	start := time.Now()
+	start := time.Now() //harmony:allow nodeterm tick latency metric; model time drives control
 	go func() {
 		defer e.solving.Store(false)
 		plan, err := e.solve(obs, idx, now)
-		elapsed := time.Since(start).Seconds()
+		elapsed := time.Since(start).Seconds() //harmony:allow nodeterm tick latency metric; model time drives control
 		e.mTickSecs.Observe(elapsed)
 		e.mu.Lock()
 		e.stats.LastTickSeconds = elapsed
@@ -537,6 +555,69 @@ func (e *Engine) Snapshot() Stats {
 		s.TasksByGroup[k] = v
 	}
 	return s
+}
+
+// Rolling-origin backtest parameters: the history window kept per class
+// (256 windows ≈ 21 hours at the default 5-minute period) and the
+// training prefix before the first evaluated forecast.
+const (
+	backtestCap      = 256
+	backtestMinTrain = 8
+)
+
+// ForecastBacktest runs a rolling-origin backtest (forecast.Backtest) of
+// the configured predictor over each class's recorded arrival windows:
+// at every origin past the training prefix the model is refitted on the
+// prefix and its one-step forecast is scored against the next observed
+// window. The result maps "class<k>" to MAE in tasks/period — directly
+// comparable with both Stats.ForecastMAE (the online one-step error) and
+// the offline rolling-origin numbers from internal/forecast. Classes
+// with insufficient history are omitted.
+func (e *Engine) ForecastBacktest() map[string]float64 {
+	e.mu.Lock()
+	hist := make([][]float64, len(e.arrHist))
+	for i, h := range e.arrHist {
+		hist[i] = append([]float64(nil), h...)
+	}
+	e.mu.Unlock()
+
+	out := make(map[string]float64)
+	for i, h := range hist {
+		if len(h) <= backtestMinTrain {
+			continue
+		}
+		m, err := forecast.Backtest(e.newBacktestPredictor(), h, backtestMinTrain)
+		if err != nil {
+			// Models that need more structure than the history offers
+			// (seasonal-naive before a full day, ARIMA on a degenerate
+			// series) fall back to the same EWMA bootstrap the policy's
+			// forecast chain uses.
+			if m, err = forecast.Backtest(&forecast.EWMA{Alpha: 0.4}, h, backtestMinTrain); err != nil {
+				continue
+			}
+		}
+		out[fmt.Sprintf("class%d", e.types[i].ID.Class)] = m.MAE
+	}
+	return out
+}
+
+// newBacktestPredictor mirrors sched.Harmony's forecaster selection so
+// the backtest scores the model the control loop actually runs.
+func (e *Engine) newBacktestPredictor() forecast.Predictor {
+	switch e.cfg.Forecaster {
+	case sched.PredictAutoARIMA:
+		return &forecast.AutoARIMA{}
+	case sched.PredictSeasonal:
+		return &forecast.SeasonalNaive{Season: int(trace.Day / e.cfg.PeriodSeconds)}
+	case sched.PredictEWMA:
+		return &forecast.EWMA{Alpha: 0.4}
+	default:
+		// sched's default fixed order (2,0,1).
+		if ar, err := forecast.NewARIMA(2, 0, 1); err == nil {
+			return ar
+		}
+		return &forecast.EWMA{Alpha: 0.4}
+	}
 }
 
 // Replay is the batch reference for the streaming daemon: it drives a

@@ -263,7 +263,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Stats
 		QueueDepth    int `json:"queueDepth"`
 		QueueCapacity int `json:"queueCapacity"`
-	}{stats, len(s.queue), cap(s.queue)})
+		// ForecastBacktest is the rolling-origin one-step MAE per class
+		// (tasks/period) of the configured predictor over the recorded
+		// arrival windows — the online counterpart of the offline
+		// rolling-origin numbers from internal/forecast.
+		ForecastBacktest map[string]float64 `json:"forecastBacktest,omitempty"`
+	}{stats, len(s.queue), cap(s.queue), s.eng.ForecastBacktest()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -1,9 +1,11 @@
 package daemon
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -273,6 +275,69 @@ func TestTickPlanStatsMetricsEndpoints(t *testing.T) {
 	} {
 		if !strings.Contains(string(raw), want) {
 			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestStatsForecastBacktest drives enough control periods past the
+// rolling-origin training prefix and asserts /v1/stats exposes a
+// per-class backtest MAE comparable with the offline numbers.
+func TestStatsForecastBacktest(t *testing.T) {
+	s, eng := newTestServer(t, ServerConfig{})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	type statsResp struct {
+		ForecastBacktest map[string]float64 `json:"forecastBacktest"`
+	}
+	getStats := func() statsResp {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out statsResp
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Before any history accumulates the field is omitted entirely.
+	if early := getStats(); len(early.ForecastBacktest) != 0 {
+		t.Errorf("backtest before history = %v", early.ForecastBacktest)
+	}
+
+	// Drive windows past the training prefix with a mild ramp so the
+	// series is not degenerate.
+	id := uint64(1)
+	for k := 0; k < backtestMinTrain+4; k++ {
+		for j := 0; j < 3+k%3; j++ {
+			task := gratisTask(id, float64(k)*eng.PeriodSeconds()+float64(j), 60)
+			if err := eng.Ingest(task); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+		if _, err := eng.Tick(context.Background()); err != nil {
+			t.Fatalf("tick %d: %v", k+1, err)
+		}
+	}
+
+	got := getStats()
+	mae, ok := got.ForecastBacktest["class0"]
+	if !ok {
+		t.Fatalf("forecastBacktest missing class0: %v", got.ForecastBacktest)
+	}
+	if math.IsNaN(mae) || mae < 0 || mae > 100 {
+		t.Errorf("class0 backtest MAE = %v, want a small non-negative error", mae)
+	}
+	// Long sub-types receive no direct arrivals, so only per-class keys
+	// (short series) appear.
+	for k := range got.ForecastBacktest {
+		if !strings.HasPrefix(k, "class") {
+			t.Errorf("unexpected backtest key %q", k)
 		}
 	}
 }

@@ -9,7 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
+
+	"harmony/internal/stats"
 )
 
 // Point is a feature vector.
@@ -62,7 +63,7 @@ func Run(points []Point, cfg Config) (*Result, error) {
 		cfg.Restarts = 1
 	}
 
-	r := rand.New(rand.NewSource(cfg.Seed))
+	r := stats.NewRNG(cfg.Seed)
 	var best *Result
 	for attempt := 0; attempt < cfg.Restarts; attempt++ {
 		res := lloyd(points, seedPlusPlus(points, cfg.K, r), cfg.MaxIter)
@@ -76,7 +77,7 @@ func Run(points []Point, cfg Config) (*Result, error) {
 // seedPlusPlus picks k initial centroids with the k-means++ strategy:
 // each next centroid is drawn with probability proportional to its squared
 // distance from the nearest already-chosen centroid.
-func seedPlusPlus(points []Point, k int, r *rand.Rand) []Point {
+func seedPlusPlus(points []Point, k int, r *stats.RNG) []Point {
 	centroids := make([]Point, 0, k)
 	first := points[r.Intn(len(points))]
 	centroids = append(centroids, clonePoint(first))

@@ -1,0 +1,209 @@
+package lint
+
+// A miniature analysistest: fixture packages under testdata/src/<name>
+// carry `// want `regexp`` comments on the lines an analyzer must flag;
+// runFixture loads the package, runs the analyzer with its production
+// package/file scope bypassed (annotation suppression still applies), and
+// fails on any missed want or unexpected diagnostic.
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return loader
+}
+
+// wantRe matches one expectation: a backtick- or double-quoted regexp
+// after the `want` marker.
+var wantRe = regexp.MustCompile("// want (`[^`]*`|\"[^\"]*\")")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				pat := m[1][1 : len(m[1])-1]
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func runFixture(t *testing.T, az *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", az.Name)
+	pkg, err := sharedLoader(t).LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags := checkPackage(pkg, []*Analyzer{az}, false)
+	wants := collectWants(t, dir)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want expectations", dir)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.line != d.Pos.Line || filepath.Base(w.file) != filepath.Base(d.Pos.Filename) {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q, got no diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestNoDetermFixture(t *testing.T)      { runFixture(t, NoDeterm) }
+func TestRNGDisciplineFixture(t *testing.T) { runFixture(t, RNGDiscipline) }
+func TestSortedEmitFixture(t *testing.T)    { runFixture(t, SortedEmit) }
+func TestFloatEqFixture(t *testing.T)       { runFixture(t, FloatEq) }
+func TestMutexSpanFixture(t *testing.T)     { runFixture(t, MutexSpan) }
+
+// TestTreeClean is the in-test twin of `harmony-lint ./...`: the whole
+// module must be free of findings (modulo annotations), so a reverted fix
+// or a new violation fails `go test` as well as the lint CI job.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := sharedLoader(t).Load("./...")
+	if err != nil {
+		t.Fatalf("load ./...: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, d := range Check(pkgs, All()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestScopes pins each analyzer's production scope: deterministic
+// packages are covered, annex packages are not.
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		az      *Analyzer
+		pkg     string
+		applies bool
+	}{
+		{NoDeterm, "harmony/internal/sim", true},
+		{NoDeterm, "harmony/internal/daemon", true},
+		{NoDeterm, "harmony/cmd/harmonyd", true},
+		{NoDeterm, "harmony/internal/trace", false},
+		{RNGDiscipline, "harmony/internal/stats", false},
+		{RNGDiscipline, "harmony/internal/trace", true},
+		{MutexSpan, "harmony/internal/daemon", true},
+		{MutexSpan, "harmony/internal/metrics", false},
+	}
+	for _, c := range cases {
+		if got := c.az.Packages(c.pkg); got != c.applies {
+			t.Errorf("%s.Packages(%q) = %v, want %v", c.az.Name, c.pkg, got, c.applies)
+		}
+	}
+	if !MutexSpan.Files("harmony/internal/sim", "/x/parallel.go") {
+		t.Error("mutexspan should cover internal/sim/parallel.go")
+	}
+	if MutexSpan.Files("harmony/internal/sim", "/x/sim.go") {
+		t.Error("mutexspan should not cover internal/sim/sim.go")
+	}
+}
+
+func TestByName(t *testing.T) {
+	azs, err := ByName([]string{"floateq", "nodeterm"})
+	if err != nil || len(azs) != 2 {
+		t.Fatalf("ByName: %v %v", azs, err)
+	}
+	if _, err := ByName([]string{"nosuch"}); err == nil {
+		t.Fatal("ByName(nosuch) should fail")
+	}
+	names := map[string]bool{}
+	for _, az := range All() {
+		if az.Name == "" || az.Doc == "" || az.Run == nil {
+			t.Errorf("analyzer %+v incomplete", az)
+		}
+		if names[az.Name] {
+			t.Errorf("duplicate analyzer name %s", az.Name)
+		}
+		names[az.Name] = true
+	}
+}
+
+// TestAllowGrammar pins the annotation grammar: same line and line above
+// both suppress, mismatched analyzer names do not.
+func TestAllowGrammar(t *testing.T) {
+	set := allowSet{
+		"f.go": {10: {"floateq": true}},
+	}
+	for _, c := range []struct {
+		line int
+		name string
+		want bool
+	}{
+		{10, "floateq", true},  // same line
+		{11, "floateq", true},  // line below the comment
+		{12, "floateq", false}, // too far
+		{10, "nodeterm", false},
+	} {
+		pos := token.Position{Filename: "f.go", Line: c.line}
+		if got := set.allows(c.name, pos); got != c.want {
+			t.Errorf("allows(%s, line %d) = %v, want %v", c.name, c.line, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package lint implements harmony-lint: a suite of static analyzers that
+// mechanically enforce the codebase's determinism and concurrency
+// contracts — the conventions (seeded internal/stats RNG only, no
+// wall-clock or environment reads in control paths, sorted iteration
+// before any output, tolerance-based float comparison, no blocking calls
+// under a mutex) that the bit-identical simulation and replay guarantees
+// rest on.
+//
+// The framework mirrors golang.org/x/tools/go/analysis in miniature but
+// is dependency-free: packages are loaded through `go list -export` plus
+// the standard library's gc importer (see Loader), and each Analyzer is a
+// function over a type-checked Package.
+//
+// A finding can be silenced in place with an annotation on the flagged
+// line or the line directly above it:
+//
+//	//harmony:allow <analyzer> [reason...]
+//
+// The reason is free text; the analyzer name must match exactly.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Packages reports whether the analyzer applies to a package; nil
+	// means every package. The fixture runner bypasses this so testdata
+	// exercises analyzers regardless of their production scope.
+	Packages func(pkgPath string) bool
+	// Files restricts findings to specific files within an applicable
+	// package; nil means every file.
+	Files func(pkgPath, filename string) bool
+
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Check runs the analyzers over the packages, honoring each analyzer's
+// package/file scope and the //harmony:allow annotations, and returns the
+// surviving diagnostics sorted by position.
+func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, checkPackage(pkg, analyzers, true)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// checkPackage runs the analyzers over one package. When scoped is false
+// the Packages/Files predicates are ignored (fixture mode); allow
+// annotations are honored either way.
+func checkPackage(pkg *Package, analyzers []*Analyzer, scoped bool) []Diagnostic {
+	allows := collectAllows(pkg)
+	var out []Diagnostic
+	for _, az := range analyzers {
+		if scoped && az.Packages != nil && !az.Packages(pkg.Path) {
+			continue
+		}
+		pass := &Pass{Analyzer: az, Pkg: pkg}
+		az.Run(pass)
+		for _, d := range pass.diags {
+			if scoped && az.Files != nil && !az.Files(pkg.Path, d.Pos.Filename) {
+				continue
+			}
+			if allows.allows(az.Name, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// allowSet indexes //harmony:allow annotations: file -> line -> analyzer
+// names allowed there.
+type allowSet map[string]map[int]map[string]bool
+
+// allows reports whether a diagnostic from the named analyzer at pos is
+// suppressed: an annotation counts on the flagged line itself or on the
+// line directly above it.
+func (a allowSet) allows(name string, pos token.Position) bool {
+	lines := a[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][name] || lines[pos.Line-1][name]
+}
+
+const allowPrefix = "harmony:allow"
+
+// collectAllows scans every comment in the package for allow annotations.
+func collectAllows(pkg *Package) allowSet {
+	set := make(allowSet)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					set[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[pos.Line] = names
+				}
+				// Only the first field is the analyzer name; the rest is
+				// a free-text reason.
+				names[fields[0]] = true
+			}
+		}
+	}
+	return set
+}
+
+// All returns every analyzer in the suite, sorted by name.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatEq,
+		MutexSpan,
+		NoDeterm,
+		RNGDiscipline,
+		SortedEmit,
+	}
+}
+
+// ByName returns the named analyzers, erroring on unknown names.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, az := range All() {
+		byName[az.Name] = az
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		az, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, az)
+	}
+	return out, nil
+}
+
+// pkgPathOf resolves the import path behind a selector base, or "" when
+// the expression is not a package qualifier.
+func (p *Pass) pkgPathOf(x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// MutexSpan flags blocking operations — channel sends and receives,
+// select, range-over-channel, sync.WaitGroup.Wait, time.Sleep, and
+// net/http round-trips — executed while a sync.Mutex/RWMutex is held. In
+// the daemon a lock held across a blocking call stalls ingest (or
+// deadlocks outright when the unblocking party needs the same lock); the
+// engine's contract is that mu guards state copies only. The analysis is
+// a per-function linear scan: defer'd unlocks keep the lock held to the
+// end of the function, and goroutine bodies do not inherit the caller's
+// locks.
+var MutexSpan = &Analyzer{
+	Name: "mutexspan",
+	Doc:  "flag blocking calls (channel ops, select, http, Wait, Sleep) while holding a mutex",
+	Packages: func(pkgPath string) bool {
+		return pkgPath == "harmony/internal/daemon" || pkgPath == "harmony/internal/sim"
+	},
+	Files: func(pkgPath, filename string) bool {
+		if pkgPath == "harmony/internal/sim" {
+			return filepath.Base(filename) == "parallel.go"
+		}
+		return true
+	},
+	Run: runMutexSpan,
+}
+
+func runMutexSpan(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					walkLockSpan(pass, fn.Body.List, map[string]token.Pos{})
+				}
+			case *ast.FuncLit:
+				// Each literal gets its own empty span: closures and
+				// goroutine bodies do not inherit the caller's locks.
+				walkLockSpan(pass, fn.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+}
+
+// walkLockSpan scans statements in order, tracking which mutexes are held
+// and reporting blocking operations inside a held span. held maps the
+// receiver expression (e.g. "e.mu") to the position of its Lock call.
+func walkLockSpan(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.ExprStmt:
+			if recv, kind, ok := mutexCall(pass, st.X); ok {
+				switch kind {
+				case "Lock", "RLock":
+					held[recv] = st.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+				}
+				continue
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to function end; any
+			// other defer is irrelevant to the span.
+			continue
+		case *ast.BlockStmt:
+			walkLockSpan(pass, st.List, held)
+			continue
+		case *ast.IfStmt:
+			if len(held) > 0 {
+				checkBlocking(pass, st.Init, held)
+				checkBlocking(pass, st.Cond, held)
+			}
+			walkLockSpan(pass, st.Body.List, copyHeld(held))
+			if st.Else != nil {
+				walkLockSpan(pass, []ast.Stmt{st.Else}, copyHeld(held))
+			}
+			continue
+		case *ast.ForStmt:
+			if len(held) > 0 {
+				checkBlocking(pass, st.Init, held)
+				checkBlocking(pass, st.Cond, held)
+				checkBlocking(pass, st.Post, held)
+			}
+			walkLockSpan(pass, st.Body.List, copyHeld(held))
+			continue
+		case *ast.RangeStmt:
+			if len(held) > 0 {
+				if tv, ok := pass.Pkg.Info.Types[st.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						reportHeld(pass, st.Pos(), "range over channel", held)
+					}
+				}
+				checkBlocking(pass, st.X, held)
+			}
+			walkLockSpan(pass, st.Body.List, copyHeld(held))
+			continue
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			if len(held) > 0 {
+				checkBlocking(pass, st, held)
+			}
+			continue
+		case *ast.GoStmt:
+			// The spawned goroutine runs outside the caller's lock span;
+			// its own body is walked as a FuncLit by runMutexSpan.
+			continue
+		}
+		if len(held) > 0 {
+			checkBlocking(pass, s, held)
+		}
+	}
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	c := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// checkBlocking reports the first blocking operation found under n.
+// FuncLit bodies are skipped: a closure merely defined under the lock
+// does not execute under it unless called, and goroutine bodies never
+// inherit the span.
+func checkBlocking(pass *Pass, n ast.Node, held map[string]token.Pos) {
+	if n == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	reported := false
+	report := func(pos token.Pos, what string) {
+		if reported {
+			return
+		}
+		reported = true
+		reportHeld(pass, pos, what, held)
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch v := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			report(v.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				report(v.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			report(v.Pos(), "select")
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[v.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					report(v.Pos(), "range over channel")
+				}
+			}
+		case *ast.CallExpr:
+			if what, ok := blockingCall(pass, v); ok {
+				report(v.Pos(), what)
+			}
+		}
+		return true
+	})
+}
+
+// reportHeld emits one diagnostic naming the first held lock in sorted
+// order, so the message itself is deterministic.
+func reportHeld(pass *Pass, pos token.Pos, what string, held map[string]token.Pos) {
+	recv := ""
+	for r := range held {
+		if recv == "" || r < recv {
+			recv = r
+		}
+	}
+	pass.Reportf(pos,
+		"%s while holding %s (locked at line %d); blocking under a lock stalls every other waiter — move it outside the critical section (//harmony:allow mutexspan <reason> to permit)",
+		what, recv, pass.Pkg.Fset.Position(held[recv]).Line)
+}
+
+// blockingCall reports whether the call is a known blocking operation.
+func blockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if pkgPath := pass.pkgPathOf(sel.X); pkgPath != "" {
+		switch {
+		case pkgPath == "net/http":
+			return "net/http." + sel.Sel.Name + " round-trip", true
+		case pkgPath == "time" && sel.Sel.Name == "Sleep":
+			return "time.Sleep", true
+		}
+		return "", false
+	}
+	// Method calls: http.Client round-trips and WaitGroup.Wait.
+	selection, ok := pass.Pkg.Info.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	obj := selection.Obj()
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	owner := named.Obj()
+	switch {
+	case fn.Pkg().Path() == "net/http" && owner.Name() == "Client":
+		return "http.Client." + fn.Name() + " round-trip", true
+	case fn.Pkg().Path() == "sync" && owner.Name() == "WaitGroup" && fn.Name() == "Wait":
+		return "sync.WaitGroup.Wait", true
+	}
+	return "", false
+}
+
+// mutexCall recognizes x.Lock/RLock/Unlock/RUnlock where the method is
+// sync.Mutex's or sync.RWMutex's (directly or promoted through
+// embedding), returning the receiver expression as the lock's identity.
+func mutexCall(pass *Pass, e ast.Expr) (recv, kind string, ok bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	selection, ok := pass.Pkg.Info.Selections[sel]
+	if !ok {
+		return "", "", false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deterministicPkgs are the packages whose behavior must be a pure
+// function of their inputs: the simulator, the control loop and its
+// solvers, and the daemon (whose Replay is the batch reference a streamed
+// trace must reproduce bit-for-bit). cmd/harmonyd is included so its
+// genuinely wall-clock tick loop carries explicit annotations.
+var deterministicPkgs = map[string]bool{
+	"harmony/internal/sim":      true,
+	"harmony/internal/sched":    true,
+	"harmony/internal/core":     true,
+	"harmony/internal/queueing": true,
+	"harmony/internal/binpack":  true,
+	"harmony/internal/daemon":   true,
+	"harmony/cmd/harmonyd":      true,
+}
+
+// nodetermBanned maps package path -> function name -> why it is banned.
+var nodetermBanned = map[string]map[string]string{
+	"time": {
+		"Now":       "wall clock",
+		"Since":     "wall clock",
+		"Until":     "wall clock",
+		"Tick":      "wall clock",
+		"After":     "wall clock",
+		"AfterFunc": "wall clock",
+		"NewTicker": "wall clock",
+		"NewTimer":  "wall clock",
+	},
+	"os": {
+		"Getenv":    "process environment",
+		"LookupEnv": "process environment",
+		"Environ":   "process environment",
+	},
+}
+
+// rngConstructors are the explicit-source constructors that nodeterm
+// leaves to the rngdiscipline analyzer.
+var rngConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// NoDeterm forbids nondeterministic inputs — wall-clock reads,
+// environment reads, and the global math/rand source — inside the
+// deterministic packages. Replayability of the paper's figures depends on
+// these packages taking time from the simulation clock and randomness
+// from a seeded internal/stats RNG only.
+var NoDeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc: "forbid time.Now, os.Getenv, and global math/rand use in deterministic packages " +
+		"(sim, sched, core, queueing, binpack, daemon, harmonyd)",
+	Packages: func(pkgPath string) bool { return deterministicPkgs[pkgPath] },
+	Run:      runNoDeterm,
+}
+
+func runNoDeterm(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath := pass.pkgPathOf(sel.X)
+			if pkgPath == "" {
+				return true
+			}
+			name := sel.Sel.Name
+			if why, ok := nodetermBanned[pkgPath][name]; ok {
+				pass.Reportf(sel.Pos(),
+					"%s.%s reads the %s; deterministic packages must take it as input (//harmony:allow nodeterm <reason> to permit)",
+					pathBase(pkgPath), name, why)
+				return true
+			}
+			if pkgPath == "math/rand" || pkgPath == "math/rand/v2" {
+				if rngConstructors[name] {
+					return true // rngdiscipline's concern
+				}
+				if _, isFunc := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); isFunc {
+					pass.Reportf(sel.Pos(),
+						"rand.%s draws from the process-global RNG; use a seeded *stats.RNG (//harmony:allow nodeterm <reason> to permit)",
+						name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

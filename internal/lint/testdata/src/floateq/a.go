@@ -1,0 +1,48 @@
+// Package floateq is the fixture for the floateq analyzer: exact float
+// equality is flagged; zero sentinels, NaN self-comparison, constant
+// folds, tolerance helpers, and annotated sites are allowed.
+package floateq
+
+func bad(a, b float64) bool {
+	return a == b // want `float == comparison`
+}
+
+func badNeq(a, b float32) bool {
+	return a != b // want `float != comparison`
+}
+
+func badLiteral(a float64) bool {
+	return a == 0.25 // want `float == comparison`
+}
+
+// ints are exact; integer equality is fine.
+func ints(a, b int) bool { return a == b }
+
+// zeroSentinel checks the exact unset value — well-defined and allowed.
+func zeroSentinel(a float64) bool { return a == 0 }
+
+// nanCheck is the x != x idiom — the only way to test NaN without math.
+func nanCheck(a float64) bool { return a != a }
+
+// constant comparisons are decided at compile time.
+const eps = 1e-9
+
+func constFold() bool { return eps == 1e-9 }
+
+// almostEqual is a tolerance helper: comparisons inside it are the
+// implementation of the discipline, not a violation of it.
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func annotated(a, b float64) bool {
+	//harmony:allow floateq bit-identical replay equivalence check
+	return a == b
+}

@@ -1,0 +1,107 @@
+// Package mutexspan is the fixture for the mutexspan analyzer: blocking
+// operations under a held sync.Mutex/RWMutex are flagged; unlock-first,
+// goroutine bodies, and annotated sites are allowed.
+package mutexspan
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	wg sync.WaitGroup
+	ch chan int
+	v  int
+}
+
+func (b *box) badSend() {
+	b.mu.Lock()
+	b.ch <- 1 // want `channel send while holding b\.mu \(locked at line 21\)`
+	b.mu.Unlock()
+}
+
+func (b *box) badDeferRecv() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want `channel receive while holding b\.mu`
+}
+
+func (b *box) badSelect() {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	select { // want `select while holding b\.rw`
+	case v := <-b.ch:
+		b.v = v
+	default:
+	}
+}
+
+func (b *box) badHTTP() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, err := http.Get("http://localhost/plan") // want `net/http\.Get round-trip while holding b\.mu`
+	return err
+}
+
+func (b *box) badClientDo(c *http.Client, req *http.Request) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, err := c.Do(req) // want `http\.Client\.Do round-trip while holding b\.mu`
+	return err
+}
+
+func (b *box) badSleep() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding b\.mu`
+	b.mu.Unlock()
+}
+
+func (b *box) badWait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.wg.Wait() // want `sync\.WaitGroup\.Wait while holding b\.mu`
+}
+
+func (b *box) badRange() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for v := range b.ch { // want `range over channel while holding b\.mu`
+		b.v += v
+	}
+}
+
+// unlockFirst releases the lock before the send — the sanctioned shape.
+func (b *box) unlockFirst() {
+	b.mu.Lock()
+	b.v++
+	v := b.v
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// spawned goroutines do not inherit the caller's lock span.
+func (b *box) goroutineBody() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.ch <- 1
+	}()
+}
+
+// plain method calls and arithmetic under the lock are fine.
+func (b *box) pureCritical() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.v *= 2
+	return b.v
+}
+
+func (b *box) annotated() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//harmony:allow mutexspan buffered channel with a sole consumer that never locks
+	b.ch <- 1
+}

@@ -1,0 +1,28 @@
+// Package rngdiscipline is the fixture for the rngdiscipline analyzer:
+// raw math/rand construction is flagged; stats.NewRNG and annotated
+// sites are allowed.
+package rngdiscipline
+
+import (
+	"math/rand"
+
+	"harmony/internal/stats"
+)
+
+func raw(seed int64) *rand.Rand {
+	src := rand.NewSource(seed) // want `rand\.NewSource constructs a raw RNG`
+	return rand.New(src)        // want `rand\.New constructs a raw RNG`
+}
+
+// sanctioned is the required form: construction through internal/stats.
+func sanctioned(seed int64) *stats.RNG {
+	return stats.NewRNG(seed)
+}
+
+// drawing from an already-constructed instance is not construction.
+func draw(r *stats.RNG) float64 { return r.Float64() }
+
+func annotated(seed int64) *rand.Rand {
+	//harmony:allow rngdiscipline interop fixture for an external API taking *rand.Rand
+	return rand.New(rand.NewSource(seed))
+}

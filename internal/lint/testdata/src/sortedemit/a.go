@@ -1,0 +1,62 @@
+// Package sortedemit is the fixture for the sortedemit analyzer: map
+// iteration that writes output is flagged; collect-then-sort loops,
+// non-emitting loops, and annotated sites are allowed.
+package sortedemit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func direct(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration emits output \(fmt\.Fprintf`
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}
+
+func viaBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration emits output \(WriteString`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func nested(w io.Writer, m map[string][]int) {
+	for k, vs := range m { // want `map iteration emits output \(fmt\.Fprintln`
+		for _, v := range vs {
+			fmt.Fprintln(w, k, v)
+		}
+	}
+}
+
+// collectThenSort is the sanctioned pattern: the map range only gathers
+// keys; emission happens over the sorted slice.
+func collectThenSort(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %d\n", k, m[k])
+	}
+}
+
+// accumulate does not emit: arithmetic over map values is order-free.
+func accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func annotated(w io.Writer, m map[string]int) {
+	//harmony:allow sortedemit single-entry map, order cannot matter
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

@@ -125,3 +125,62 @@ func TestConcurrentUse(t *testing.T) {
 		t.Errorf("vec counter = %v, want 8000", cv.With("a").Value())
 	}
 }
+
+// TestRenderDeterministic populates two registries with the same families
+// and label values in different orders and asserts the rendered text is
+// byte-identical — and matches the golden exposition verbatim, so any
+// ordering regression (map-iteration leakage) shows as a diff.
+func TestRenderDeterministic(t *testing.T) {
+	const golden = `# HELP depth current depth
+# TYPE depth gauge
+depth 3
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="1"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 5.55
+lat_seconds_count 3
+# HELP reqs_total requests by route
+# TYPE reqs_total counter
+reqs_total{route="/metrics"} 1
+reqs_total{route="/v1/stats"} 2
+reqs_total{route="/v1/tasks"} 4
+# HELP tasks_total tasks ingested
+# TYPE tasks_total counter
+tasks_total 2
+`
+
+	forward := NewRegistry()
+	forward.Gauge("depth", "current depth").Set(3)
+	h := forward.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	rv := forward.CounterVec("reqs_total", "requests by route", "route")
+	rv.With("/metrics").Inc()
+	rv.With("/v1/stats").Add(2)
+	rv.With("/v1/tasks").Add(4)
+	forward.Counter("tasks_total", "tasks ingested").Add(2)
+
+	// Same state, reversed registration and label-touch order.
+	reverse := NewRegistry()
+	reverse.Counter("tasks_total", "tasks ingested").Add(2)
+	rv = reverse.CounterVec("reqs_total", "requests by route", "route")
+	rv.With("/v1/tasks").Add(4)
+	rv.With("/v1/stats").Add(2)
+	rv.With("/metrics").Inc()
+	h = reverse.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(5)
+	h.Observe(0.5)
+	h.Observe(0.05)
+	reverse.Gauge("depth", "current depth").Set(3)
+
+	a, b := forward.Render(), reverse.Render()
+	if a != b {
+		t.Errorf("render differs by population order:\n--- forward ---\n%s--- reverse ---\n%s", a, b)
+	}
+	if a != golden {
+		t.Errorf("render drifted from golden:\n--- got ---\n%s--- want ---\n%s", a, golden)
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"harmony/internal/energy"
 	"harmony/internal/stats"
@@ -230,7 +229,7 @@ type engine struct {
 	sumUsedMem []float64
 	usedCount  int // machines with at least one running task
 
-	failRand *rand.Rand
+	failRand *stats.RNG
 
 	// freeCPUBound/freeMemBound[m] are upper bounds on the largest free
 	// CPU/memory of any powered type-m machine, used to prune placement
@@ -322,7 +321,7 @@ func newEngine(cfg Config) *engine {
 		e.pending[gi] = make([][]pendingTask, cfg.NumTypes)
 	}
 	if cfg.MTBFHours > 0 {
-		e.failRand = rand.New(rand.NewSource(cfg.FailureSeed))
+		e.failRand = stats.NewRNG(cfg.FailureSeed)
 	}
 	id := 0
 	for ti, mt := range cfg.Trace.Machines {
@@ -378,10 +377,12 @@ func (e *engine) run() {
 		e.advanceTo(tEvt)
 
 		switch {
+		//harmony:allow floateq exact by construction: tEvt is the min of the compared values
 		case tEvt == nextPeriod:
 			e.periodBoundary(periodIdx)
 			periodIdx++
 			nextPeriod += e.cfg.Period
+		//harmony:allow floateq exact by construction: tEvt is the min of the compared values
 		case tEvt == tFin:
 			e.completeOne()
 			e.schedulePending()

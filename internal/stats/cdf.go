@@ -48,6 +48,7 @@ func (c *CDF) P(x float64) float64 {
 	c.freeze()
 	idx := sort.SearchFloat64s(c.sorted, x)
 	// Advance over equal values so P is right-continuous (<=, not <).
+	//harmony:allow floateq scanning stored duplicates of x requires exact equality
 	for idx < len(c.sorted) && c.sorted[idx] == x {
 		idx++
 	}

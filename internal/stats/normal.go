@@ -18,6 +18,7 @@ func NormalQuantile(p float64) float64 {
 		return math.NaN()
 	case p == 0:
 		return math.Inf(-1)
+	//harmony:allow floateq exact domain boundary of the quantile function
 	case p == 1:
 		return math.Inf(1)
 	}

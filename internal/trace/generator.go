@@ -3,7 +3,6 @@ package trace
 import (
 	"errors"
 	"math"
-	"math/rand"
 
 	"harmony/internal/stats"
 )
@@ -207,7 +206,7 @@ func Generate(cfg Config) (*Trace, error) {
 		return nil, errors.New("trace: group shares sum to zero")
 	}
 
-	r := rand.New(rand.NewSource(cfg.Seed))
+	r := stats.NewRNG(cfg.Seed)
 	tr := &Trace{Machines: cfg.Machines, Horizon: cfg.Horizon}
 
 	shares := make([]float64, NumGroups)
@@ -280,7 +279,7 @@ func Generate(cfg Config) (*Trace, error) {
 	return tr, nil
 }
 
-func geometric(r *rand.Rand, mean float64) int {
+func geometric(r *stats.RNG, mean float64) int {
 	if mean <= 1 {
 		return 0
 	}
@@ -292,7 +291,7 @@ func geometric(r *rand.Rand, mean float64) int {
 	return n
 }
 
-func drawSize(r *rand.Rand, g GroupProfile) (cpu, mem float64) {
+func drawSize(r *stats.RNG, g GroupProfile) (cpu, mem float64) {
 	weights := make([]float64, len(g.Sizes))
 	for i, c := range g.Sizes {
 		weights[i] = c.Weight
@@ -317,7 +316,7 @@ func clampSize(x float64) float64 {
 	return x
 }
 
-func drawDuration(r *rand.Rand, g GroupProfile) float64 {
+func drawDuration(r *stats.RNG, g GroupProfile) float64 {
 	if r.Float64() < g.ShortFrac {
 		// Log-normal with the requested mean: exp(mu + s^2/2) = mean.
 		const sigma = 1.0

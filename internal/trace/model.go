@@ -117,6 +117,7 @@ func (tr *Trace) TotalMachines() int {
 // SortTasks sorts the task stream by submission time (stable on ID).
 func (tr *Trace) SortTasks() {
 	sort.SliceStable(tr.Tasks, func(i, j int) bool {
+		//harmony:allow floateq sort tie-break must be exact for a deterministic order
 		if tr.Tasks[i].Submit != tr.Tasks[j].Submit {
 			return tr.Tasks[i].Submit < tr.Tasks[j].Submit
 		}
