@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench check
+.PHONY: build vet lint test race bench bench-baseline check
 
 build:
 	$(GO) build ./...
@@ -22,5 +22,11 @@ race:
 # One iteration of every benchmark, as a does-it-run smoke pass.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Re-measure the control-path micro-benchmarks and overwrite the tracked
+# baseline (BENCH_control_path.json). Run on a quiet machine and commit
+# the result whenever the control path changes materially.
+bench-baseline:
+	$(GO) run ./cmd/harmony-bench -benchjson BENCH_control_path.json
 
 check: build lint race bench

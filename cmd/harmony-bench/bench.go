@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"harmony"
+)
+
+// benchSchema identifies the tracked control-path baseline format; bump
+// it when the record shape changes.
+const benchSchema = "harmony/control-path-bench/v1"
+
+// benchRecord is one measured control-path operation.
+type benchRecord struct {
+	Op          string  `json:"op"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchFile is the on-disk shape of BENCH_control_path.json.
+type benchFile struct {
+	Schema     string        `json:"schema"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// writeBenchJSON measures every control-path operation and writes the
+// baseline file.
+func writeBenchJSON(path string, msPerOp int, out io.Writer) error {
+	ops, err := harmony.ControlPathOps()
+	if err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	file := benchFile{Schema: benchSchema}
+	for _, op := range ops {
+		rec, err := measureOp(op, time.Duration(msPerOp)*time.Millisecond)
+		if err != nil {
+			return fmt.Errorf("benchjson: %s: %w", op.Name, err)
+		}
+		fmt.Fprintf(out, "bench: %-20s %14.0f ns/op %10.0f allocs/op  (%d iters)\n",
+			rec.Op, rec.NsPerOp, rec.AllocsPerOp, rec.Iters)
+		file.Benchmarks = append(file.Benchmarks, rec)
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	fmt.Fprintf(out, "bench: wrote %s\n", path)
+	return nil
+}
+
+// measureOp warms an operation up once, then times it in doubling
+// batches until one batch runs for at least target; that batch's wall
+// time and heap allocations (runtime.MemStats deltas) give the per-op
+// numbers, the same way testing.B converges on -benchtime.
+func measureOp(op harmony.ControlPathOp, target time.Duration) (benchRecord, error) {
+	if err := op.Run(1); err != nil {
+		return benchRecord{}, err
+	}
+	for iters := 1; ; iters *= 2 {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		err := op.Run(iters)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return benchRecord{}, err
+		}
+		if elapsed >= target || iters >= 1<<22 {
+			return benchRecord{
+				Op:          op.Name,
+				Iters:       iters,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+				AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+			}, nil
+		}
+	}
+}
+
+// checkBenchJSON validates a recorded baseline without re-running the
+// benchmarks: the schema tag, record plausibility, and that the recorded
+// op set matches the code's current op set, so a stale baseline fails CI
+// instead of silently tracking operations that no longer exist.
+func checkBenchJSON(path string, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("benchjson-check: %w (record with -benchjson)", err)
+	}
+	var file benchFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("benchjson-check: %s: %w", path, err)
+	}
+	if file.Schema != benchSchema {
+		return fmt.Errorf("benchjson-check: %s: schema %q, want %q", path, file.Schema, benchSchema)
+	}
+	want := harmony.ControlPathOpNames()
+	known := make(map[string]bool, len(want))
+	for _, name := range want {
+		known[name] = true
+	}
+	seen := make(map[string]bool, len(file.Benchmarks))
+	for _, rec := range file.Benchmarks {
+		if !known[rec.Op] {
+			return fmt.Errorf("benchjson-check: %s: unknown op %q (regenerate with make bench-baseline)", path, rec.Op)
+		}
+		if seen[rec.Op] {
+			return fmt.Errorf("benchjson-check: %s: duplicate op %q", path, rec.Op)
+		}
+		seen[rec.Op] = true
+		if rec.Iters < 1 || rec.NsPerOp <= 0 || rec.AllocsPerOp < 0 {
+			return fmt.Errorf("benchjson-check: %s: op %q has implausible numbers", path, rec.Op)
+		}
+	}
+	for _, name := range want {
+		if !seen[name] {
+			return fmt.Errorf("benchjson-check: %s: missing op %q (regenerate with make bench-baseline)", path, name)
+		}
+	}
+	fmt.Fprintf(out, "benchjson: %s ok (%d ops)\n", path, len(file.Benchmarks))
+	return nil
+}

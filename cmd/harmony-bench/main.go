@@ -14,6 +14,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 
@@ -42,6 +44,12 @@ func run(args []string, out io.Writer) error {
 		parallel  = fs.Int("parallel", 1, "experiments to run concurrently (>= 1)")
 		golden    = fs.String("golden", "", "golden mode: 'write' records per-experiment renderings, 'check' diffs against them")
 		goldenDir = fs.String("golden-dir", filepath.Join("testdata", "golden"), "directory for golden files")
+
+		benchJSON  = fs.String("benchjson", "", "measure the control-path micro-benchmarks and write the baseline JSON to this path")
+		benchCheck = fs.String("benchjson-check", "", "validate a recorded control-path baseline (schema + op set) without re-benchmarking")
+		benchMS    = fs.Int("bench-ms", 200, "per-op measurement budget for -benchjson, in milliseconds")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memprofile = fs.String("memprofile", "", "write a heap profile at the end of the run to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,27 +59,76 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("invalid -golden %q: must be 'write' or 'check'", *golden)
 	}
+	if *benchMS < 1 {
+		return fmt.Errorf("invalid -bench-ms %d: must be >= 1", *benchMS)
+	}
 
-	if *list {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	// body routes to the selected mode (baseline check, baseline capture,
+	// experiment listing, experiment runs); it is a closure so the pprof
+	// hooks above and below bracket every mode uniformly.
+	body := func() error {
+		if *benchCheck != "" {
+			return checkBenchJSON(*benchCheck, out)
+		}
+		if *benchJSON != "" {
+			return writeBenchJSON(*benchJSON, *benchMS, out)
+		}
+		return runExperiments(out, *exp, *list, *seed, *hours, *rate, *scale,
+			*cluster, *full, *epsilon, *parallel, *golden, *goldenDir)
+	}
+	if err := body(); err != nil {
+		return err
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return nil
+}
+
+// runExperiments is the original harmony-bench mode: regenerate the
+// selected experiments (optionally in parallel and against goldens).
+func runExperiments(out io.Writer, exp string, list bool, seed int64, hours, rate float64,
+	scale int, cluster string, full bool, epsilon float64, parallel int,
+	golden, goldenDir string) error {
+	if list {
 		for _, id := range harmony.ExperimentIDs() {
 			fmt.Fprintln(out, id)
 		}
 		return nil
 	}
-	if *exp == "" {
+	if exp == "" {
 		return fmt.Errorf("missing -exp (use -list to see ids)")
 	}
-	if *parallel < 1 {
-		return fmt.Errorf("invalid -parallel %d: must be >= 1", *parallel)
+	if parallel < 1 {
+		return fmt.Errorf("invalid -parallel %d: must be >= 1", parallel)
 	}
 
 	kind := harmony.ClusterTableII
-	switch *cluster {
+	switch cluster {
 	case "tableii":
 	case "googlelike":
 		kind = harmony.ClusterGoogleLike
 	default:
-		return fmt.Errorf("unknown cluster %q", *cluster)
+		return fmt.Errorf("unknown cluster %q", cluster)
 	}
 
 	known := make(map[string]bool)
@@ -79,10 +136,10 @@ func run(args []string, out io.Writer) error {
 		known[id] = true
 	}
 	var ids []string
-	if *exp == "all" {
+	if exp == "all" {
 		ids = harmony.ExperimentIDs()
 	} else {
-		for _, id := range strings.Split(*exp, ",") {
+		for _, id := range strings.Split(exp, ",") {
 			id = strings.TrimSpace(id)
 			if id != "" {
 				ids = append(ids, id)
@@ -100,14 +157,14 @@ func run(args []string, out io.Writer) error {
 
 	env := harmony.NewEnv(
 		harmony.WorkloadConfig{
-			Seed:           *seed,
-			Hours:          *hours,
-			TasksPerSecond: *rate,
+			Seed:           seed,
+			Hours:          hours,
+			TasksPerSecond: rate,
 			Cluster:        kind,
-			ClusterScale:   *scale,
+			ClusterScale:   scale,
 		},
-		harmony.CharacterizeConfig{Seed: *seed},
-		harmony.SimulationConfig{Epsilon: *epsilon},
+		harmony.CharacterizeConfig{Seed: seed},
+		harmony.SimulationConfig{Epsilon: epsilon},
 	)
 
 	// The Env is race-safe (Once-guarded caches), so independent
@@ -117,7 +174,7 @@ func run(args []string, out io.Writer) error {
 	// so the series data is what gets diffed.
 	texts := make([]string, len(ids))
 	errs := make([]error, len(ids))
-	sem := make(chan struct{}, *parallel)
+	sem := make(chan struct{}, parallel)
 	var wg sync.WaitGroup
 	wg.Add(len(ids))
 	for i, id := range ids {
@@ -130,7 +187,7 @@ func run(args []string, out io.Writer) error {
 				errs[i] = fmt.Errorf("experiment %s: %w", id, err)
 				return
 			}
-			if *full || *golden != "" {
+			if full || golden != "" {
 				texts[i] = result.Render()
 			} else {
 				texts[i] = summarize(result)
@@ -143,8 +200,8 @@ func run(args []string, out io.Writer) error {
 			return errs[i]
 		}
 	}
-	if *golden != "" {
-		return runGolden(*golden, *goldenDir, ids, texts, out)
+	if golden != "" {
+		return runGolden(golden, goldenDir, ids, texts, out)
 	}
 	for i := range ids {
 		fmt.Fprint(out, texts[i])

@@ -1,0 +1,258 @@
+package harmony
+
+import (
+	"fmt"
+
+	"harmony/internal/classify"
+	"harmony/internal/core"
+	"harmony/internal/energy"
+	"harmony/internal/lp"
+	"harmony/internal/sched"
+	"harmony/internal/sim"
+	"harmony/internal/stats"
+	"harmony/internal/trace"
+)
+
+// ControlPathOp is one timed micro-operation of the per-period control
+// path (forecast → CBS-RELAX → rounding → placement). The operations are
+// built over fixed, seeded scenarios so successive baseline captures
+// measure the same work.
+type ControlPathOp struct {
+	// Name identifies the operation in BENCH_control_path.json.
+	Name string
+	// Run executes the operation iters times.
+	Run func(iters int) error
+}
+
+// ControlPathOpNames lists the operations ControlPathOps builds, in
+// order. It is cheap (no scenario setup), so callers that only need to
+// validate a recorded baseline against the current op set can use it
+// without paying for LP solves.
+func ControlPathOpNames() []string {
+	return []string{"relax-cold-mpc", "relax-warm-mpc", "placement", "harmony-period-tick"}
+}
+
+// ControlPathOps builds the control-path micro-benchmarks behind
+// harmony-bench's -benchjson mode:
+//
+//   - relax-cold-mpc: one steady-state MPC period solved from a cold
+//     Big-M start (4 machine types, 10 container types, 6-period horizon).
+//   - relax-warm-mpc: the same period seeded from the previous period's
+//     optimal basis — the cost every period after the first actually pays.
+//   - placement: the parallel per-type First-Fit rounding pass against a
+//     fixed fractional plan (12 machine types).
+//   - harmony-period-tick: a full scheduler tick — record arrivals,
+//     forecast, M/G/c sizing, warm CBS-RELAX solve, and placement.
+func ControlPathOps() ([]ControlPathOp, error) {
+	prev, next, err := mpcPair()
+	if err != nil {
+		return nil, fmt.Errorf("mpc scenario: %w", err)
+	}
+	var basis *lp.Basis
+	if _, basis, err = core.SolveRelaxedWarm(prev, nil); err != nil {
+		return nil, fmt.Errorf("mpc warm basis: %w", err)
+	}
+
+	r := stats.NewRNG(7)
+	placeIn := controlPathInput(r, 12, 8, 2)
+	placePlan, err := core.SolveRelaxed(placeIn)
+	if err != nil {
+		return nil, fmt.Errorf("placement scenario: %w", err)
+	}
+	placeCtrl := &core.Controller{
+		Machines: placeIn.Machines, Containers: placeIn.Containers,
+		PeriodSeconds: placeIn.PeriodSeconds, Horizon: placeIn.Horizon, Mode: core.CBS,
+	}
+
+	policy, obs, err := tickScenario()
+	if err != nil {
+		return nil, fmt.Errorf("tick scenario: %w", err)
+	}
+
+	return []ControlPathOp{
+		{Name: "relax-cold-mpc", Run: func(iters int) error {
+			for i := 0; i < iters; i++ {
+				if _, err := core.SolveRelaxed(next); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{Name: "relax-warm-mpc", Run: func(iters int) error {
+			for i := 0; i < iters; i++ {
+				if _, _, err := core.SolveRelaxedWarm(next, basis); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{Name: "placement", Run: func(iters int) error {
+			for i := 0; i < iters; i++ {
+				if _, err := placeCtrl.Realize(placePlan); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{Name: "harmony-period-tick", Run: func(iters int) error {
+			for i := 0; i < iters; i++ {
+				if dir := policy.Period(obs); dir.TargetActive == nil {
+					return fmt.Errorf("tick produced no decision: %w", policy.Err())
+				}
+			}
+			return nil
+		}},
+	}, nil
+}
+
+// mpcPair returns two consecutive MPC periods of a fixed mid-size
+// scenario, advanced a few control periods first so the pair reflects the
+// steady state: the forecast window slid by one, the initial machine
+// state taken from the realized decision.
+func mpcPair() (*core.PlanInput, *core.PlanInput, error) {
+	r := stats.NewRNG(42)
+	in := controlPathInput(r, 4, 10, 6)
+	ctrl := &core.Controller{
+		Machines: in.Machines, Containers: in.Containers,
+		PeriodSeconds: in.PeriodSeconds, Horizon: in.Horizon, Mode: core.CBS,
+	}
+	for period := 0; ; period++ {
+		plan, err := core.SolveRelaxed(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		dec, err := ctrl.Realize(plan)
+		if err != nil {
+			return nil, nil, err
+		}
+		next := shiftControlWindow(r, in, dec)
+		if period == 3 {
+			return in, next, nil
+		}
+		in = next
+	}
+}
+
+// shiftControlWindow builds period t+1's input from period t's: the
+// forecast window slides by one, the tail extrapolates with mild noise,
+// and the initial machine state is the decision just realized.
+func shiftControlWindow(r *stats.RNG, in *core.PlanInput, dec *core.Decision) *core.PlanInput {
+	out := &core.PlanInput{
+		PeriodSeconds: in.PeriodSeconds, Horizon: in.Horizon,
+		Machines: in.Machines, Containers: in.Containers,
+		Demand:        make([][]float64, len(in.Demand)),
+		Price:         make([]float64, len(in.Price)),
+		InitialActive: make([]float64, len(in.InitialActive)),
+	}
+	for n, row := range in.Demand {
+		out.Demand[n] = make([]float64, len(row))
+		copy(out.Demand[n], row[1:])
+		tail := row[len(row)-1] * (0.95 + r.Float64()*0.1)
+		if tail < 0 {
+			tail = 0
+		}
+		out.Demand[n][len(row)-1] = float64(int(tail))
+	}
+	copy(out.Price, in.Price[1:])
+	last := len(in.Price) - 1
+	out.Price[last] = in.Price[last] * (0.98 + r.Float64()*0.04)
+	for m := range out.InitialActive {
+		out.InitialActive[m] = float64(dec.ActiveMachines[m])
+	}
+	return out
+}
+
+// controlPathInput generates a random but seeded CBS-RELAX instance with
+// nm machine types, nn container types, and a w-period horizon.
+func controlPathInput(r *stats.RNG, nm, nn, w int) *core.PlanInput {
+	in := &core.PlanInput{PeriodSeconds: 300, Horizon: w}
+	for m := 0; m < nm; m++ {
+		in.Machines = append(in.Machines, core.MachineSpec{
+			Type:       m + 1,
+			CPU:        0.3 + r.Float64()*0.7,
+			Mem:        0.3 + r.Float64()*0.7,
+			Available:  20 + r.Intn(60),
+			IdleWatts:  50 + r.Float64()*250,
+			AlphaCPU:   50 + r.Float64()*250,
+			AlphaMem:   10 + r.Float64()*80,
+			SwitchCost: r.Float64() * 0.01,
+		})
+	}
+	for n := 0; n < nn; n++ {
+		in.Containers = append(in.Containers, core.ContainerSpec{
+			Type:  n,
+			CPU:   0.02 + r.Float64()*0.3,
+			Mem:   0.02 + r.Float64()*0.3,
+			Value: 0.05 + r.Float64()*0.2,
+			Omega: 1 + r.Float64()*0.3,
+		})
+	}
+	in.Demand = make([][]float64, nn)
+	for n := range in.Demand {
+		in.Demand[n] = make([]float64, w)
+		for t := range in.Demand[n] {
+			in.Demand[n][t] = float64(r.Intn(150))
+		}
+	}
+	in.Price = make([]float64, w)
+	for t := range in.Price {
+		in.Price[t] = 0.05 + r.Float64()*0.1
+	}
+	in.InitialActive = make([]float64, nm)
+	for m := range in.InitialActive {
+		in.InitialActive[m] = float64(r.Intn(in.Machines[m].Available))
+	}
+	return in
+}
+
+// tickScenario builds a Harmony policy over a scaled Table II cluster and
+// drives it to its steady state (warm LP basis, M/G/c hints, scratch
+// buffers), the way a long simulation or daemon run sees every tick.
+func tickScenario() (*sched.Harmony, *sim.Observation, error) {
+	models := energy.TableII()
+	machines := make([]trace.MachineType, len(models))
+	for i := range models {
+		models[i].Count /= 100
+		if models[i].Count < 1 {
+			models[i].Count = 1
+		}
+		machines[i] = models[i].MachineType(i + 1)
+	}
+	types := []classify.TaskType{
+		{ID: classify.TypeID{Class: 0, Sub: 0}, Group: trace.Gratis,
+			CPU: 0.01, Mem: 0.01, CPUStd: 0.004, MemStd: 0.004,
+			MeanDuration: 60, SqCV: 1.2, Count: 100},
+		{ID: classify.TypeID{Class: 1, Sub: 0}, Group: trace.Other,
+			CPU: 0.05, Mem: 0.04, CPUStd: 0.02, MemStd: 0.02,
+			MeanDuration: 120, SqCV: 1.5, Count: 80},
+		{ID: classify.TypeID{Class: 2, Sub: 1}, Group: trace.Production,
+			CPU: 0.2, Mem: 0.15, CPUStd: 0.05, MemStd: 0.05,
+			MeanDuration: 7200, SqCV: 0.8, Count: 20},
+	}
+	h, err := sched.NewHarmony(sched.HarmonyConfig{
+		Mode:          core.CBS,
+		Machines:      machines,
+		Models:        models,
+		Types:         types,
+		PeriodSeconds: 300,
+		Horizon:       2,
+		Predictor:     sched.PredictEWMA,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	obs := &sim.Observation{
+		Arrivals: []int{240, 90, 12},
+		Queued:   []int{3, 1, 0},
+		Running:  []int{15, 8, 4},
+		Active:   make([]int, len(machines)),
+		Price:    0.08,
+	}
+	for i := 0; i < 6; i++ {
+		if dir := h.Period(obs); dir.TargetActive == nil {
+			return nil, nil, fmt.Errorf("warm-up period %d: %w", i, h.Err())
+		}
+		obs.Time += 300
+	}
+	return h, obs, nil
+}

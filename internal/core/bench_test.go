@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"harmony/internal/lp"
+)
+
+// benchPair returns two consecutive MPC periods of a fixed mid-size
+// scenario (4 machine types, 10 container types, 6-period horizon). The
+// controller is advanced a few periods first so the pair reflects the
+// steady state every production control period lives in: the forecast
+// window slid by one, the initial machine state taken from the realized
+// decision.
+func benchPair() (*PlanInput, *PlanInput) {
+	r := rand.New(rand.NewSource(42))
+	in := randomSized(r, 4, 10, 6)
+	ctrl := &Controller{
+		Machines: in.Machines, Containers: in.Containers,
+		PeriodSeconds: in.PeriodSeconds, Horizon: in.Horizon, Mode: CBS,
+	}
+	for period := 0; period < 4; period++ {
+		plan, err := SolveRelaxed(in)
+		if err != nil {
+			panic(err)
+		}
+		dec, err := ctrl.Realize(plan)
+		if err != nil {
+			panic(err)
+		}
+		next := shiftWindow(r, in, dec)
+		if period == 3 {
+			return in, next
+		}
+		in = next
+	}
+	panic("unreachable")
+}
+
+// shiftWindow builds period t+1's input from period t's: the forecast
+// window slides by one, the tail extrapolates with mild noise, and the
+// initial machine state is the decision the controller just realized.
+func shiftWindow(r *rand.Rand, in *PlanInput, dec *Decision) *PlanInput {
+	out := &PlanInput{
+		PeriodSeconds: in.PeriodSeconds, Horizon: in.Horizon,
+		Machines: in.Machines, Containers: in.Containers,
+		Demand:        make([][]float64, len(in.Demand)),
+		Price:         make([]float64, len(in.Price)),
+		InitialActive: make([]float64, len(in.InitialActive)),
+	}
+	for n, row := range in.Demand {
+		out.Demand[n] = make([]float64, len(row))
+		copy(out.Demand[n], row[1:])
+		tail := row[len(row)-1] * (0.95 + r.Float64()*0.1)
+		if tail < 0 {
+			tail = 0
+		}
+		out.Demand[n][len(row)-1] = float64(int(tail))
+	}
+	copy(out.Price, in.Price[1:])
+	last := len(in.Price) - 1
+	out.Price[last] = in.Price[last] * (0.98 + r.Float64()*0.04)
+	for m := range out.InitialActive {
+		out.InitialActive[m] = float64(dec.ActiveMachines[m])
+	}
+	return out
+}
+
+// randomSized is randomInput with explicit dimensions.
+func randomSized(r *rand.Rand, nm, nn, w int) *PlanInput {
+	in := &PlanInput{PeriodSeconds: 300, Horizon: w}
+	for m := 0; m < nm; m++ {
+		in.Machines = append(in.Machines, MachineSpec{
+			Type:       m + 1,
+			CPU:        0.3 + r.Float64()*0.7,
+			Mem:        0.3 + r.Float64()*0.7,
+			Available:  20 + r.Intn(60),
+			IdleWatts:  50 + r.Float64()*250,
+			AlphaCPU:   50 + r.Float64()*250,
+			AlphaMem:   10 + r.Float64()*80,
+			SwitchCost: r.Float64() * 0.01,
+		})
+	}
+	for n := 0; n < nn; n++ {
+		in.Containers = append(in.Containers, ContainerSpec{
+			Type:  n,
+			CPU:   0.02 + r.Float64()*0.3,
+			Mem:   0.02 + r.Float64()*0.3,
+			Value: 0.05 + r.Float64()*0.2,
+			Omega: 1 + r.Float64()*0.3,
+		})
+	}
+	in.Demand = make([][]float64, nn)
+	for n := range in.Demand {
+		in.Demand[n] = make([]float64, w)
+		for t := range in.Demand[n] {
+			in.Demand[n][t] = float64(r.Intn(150))
+		}
+	}
+	in.Price = make([]float64, w)
+	for t := range in.Price {
+		in.Price[t] = 0.05 + r.Float64()*0.1
+	}
+	in.InitialActive = make([]float64, nm)
+	for m := range in.InitialActive {
+		in.InitialActive[m] = float64(r.Intn(in.Machines[m].Available))
+	}
+	return in
+}
+
+// BenchmarkSolveRelaxedCold is the per-period cost without basis reuse:
+// every control period pays a full cold Big-M solve.
+func BenchmarkSolveRelaxedCold(b *testing.B) {
+	_, next := benchPair()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveRelaxed(next); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveRelaxedWarm solves the same period seeded from the
+// previous period's optimal basis — the steady-state MPC cost.
+func BenchmarkSolveRelaxedWarm(b *testing.B) {
+	prev, next := benchPair()
+	var basis *lp.Basis
+	if _, bs, err := SolveRelaxedWarm(prev, nil); err != nil {
+		b.Fatal(err)
+	} else {
+		basis = bs
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SolveRelaxedWarm(next, basis); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveRelaxedDense is the retired dense-tableau reference on
+// the same instance, for the sparse-vs-dense trajectory.
+func BenchmarkSolveRelaxedDense(b *testing.B) {
+	_, next := benchPair()
+	v := newVarIndex(next)
+	prob := buildProblem(next, v)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.SolveDense(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundCBS measures the parallel per-type First-Fit placement
+// pass against a fixed fractional plan (12 machine types).
+func BenchmarkRoundCBS(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	in := randomSized(r, 12, 8, 2)
+	plan, err := SolveRelaxed(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl := &Controller{
+		Machines: in.Machines, Containers: in.Containers,
+		PeriodSeconds: in.PeriodSeconds, Horizon: in.Horizon, Mode: CBS,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctrl.Realize(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,7 +6,7 @@ import (
 	"math"
 	"os"
 
-	"harmony/internal/binpack"
+	"harmony/internal/lp"
 )
 
 // Mode selects how the fractional plan is realized (Section VIII-B).
@@ -45,6 +45,13 @@ type Controller struct {
 	PeriodSeconds float64
 	Horizon       int
 	Mode          Mode
+
+	// basis carries the optimal simplex basis from the previous Step, so
+	// consecutive MPC solves warm-start instead of re-pivoting from a
+	// cold Big-M tableau. lp.SolveWarm validates it against the current
+	// problem and silently falls back to a cold solve if the catalog or
+	// horizon changed, so a stale basis can never change the answer.
+	basis *lp.Basis
 }
 
 // Decision is the integer realization of one control period.
@@ -87,14 +94,23 @@ func (c *Controller) Step(initialActive []float64, demand [][]float64, price []f
 		Price:         price,
 		InitialActive: initialActive,
 	}
-	plan, err := SolveRelaxed(in)
+	plan, basis, err := SolveRelaxedWarm(in, c.basis)
 	if err != nil {
 		return nil, err
 	}
+	c.basis = basis
 	//harmony:allow nodeterm debug-only dump hook; never influences the decision
 	if path := os.Getenv("HARMONY_DUMP_PLAN"); path != "" {
 		dumpPlanInput(in, path)
 	}
+	return c.Realize(plan)
+}
+
+// Realize rounds period 0 of a fractional plan to an integer decision
+// according to the controller's mode. Step calls it after each solve; it
+// is exported so the placement pass can be exercised (and benchmarked)
+// against a fixed plan without re-running the LP.
+func (c *Controller) Realize(plan *Plan) (*Decision, error) {
 	switch c.Mode {
 	case CBP:
 		return c.roundCBP(plan), nil
@@ -144,76 +160,4 @@ func (c *Controller) roundCBP(plan *Plan) *Decision {
 		}
 	}
 	return d
-}
-
-// roundCBS realizes period 0 with First-Fit packing per machine type
-// (Algorithm 1): at most ⌈z*⌉+1 machines of each type are used, and by
-// Lemma 1 at least x*/(2|R|) containers of each type fit. Containers that
-// do not fit in the budget are reported in Dropped.
-func (c *Controller) roundCBS(plan *Plan) (*Decision, error) {
-	d := &Decision{
-		ActiveMachines: make([]int, len(c.Machines)),
-		Quota:          make([][]int, len(c.Machines)),
-		Packings:       make([][]map[int]int, len(c.Machines)),
-		Dropped:        make([]int, len(c.Containers)),
-		Plan:           plan,
-	}
-	for m, ms := range c.Machines {
-		zStar := plan.Active[m][0]
-		budget := int(math.Ceil(zStar - 1e-9))
-		if zStar > 1e-9 {
-			budget++ // Lemma 1's z*+1 allowance
-		}
-		if budget > ms.Available {
-			budget = ms.Available
-		}
-		d.Quota[m] = make([]int, len(c.Containers))
-		if budget == 0 {
-			continue
-		}
-
-		// Integer container counts for this machine type: floor of the
-		// fractional allocation (the plan already respects capacity).
-		var items []binpack.Item
-		id := 0
-		for n, cs := range c.Containers {
-			count := int(math.Floor(plan.Alloc[m][n][0] + 1e-9))
-			om := cs.Omega
-			if om < 1 {
-				om = 1
-			}
-			for k := 0; k < count; k++ {
-				items = append(items, binpack.Item{
-					ID:      id<<16 | n,
-					Demands: []float64{om * cs.CPU, om * cs.Mem},
-				})
-				id++
-			}
-		}
-		capacity := []float64{ms.CPU, ms.Mem}
-		bins, unplaced, err := binpack.FirstFitBounded(items, capacity, budget)
-		if err != nil {
-			return nil, fmt.Errorf("core: CBS rounding type %d: %w", ms.Type, err)
-		}
-		d.ActiveMachines[m] = len(bins)
-		d.Packings[m] = make([]map[int]int, len(bins))
-		for bi, bin := range bins {
-			pack := make(map[int]int)
-			for _, it := range bin.Items {
-				n := it.ID & 0xffff
-				pack[n]++
-			}
-			d.Packings[m][bi] = pack
-		}
-		for _, it := range unplaced {
-			d.Dropped[it.ID&0xffff]++
-		}
-		// Quotas are the plan's caps (Algorithm 1 lets the scheduler
-		// keep placing as long as the total stays within x^{mn}), not
-		// the packed counts, which floor-rounding would understate.
-		for n := range c.Containers {
-			d.Quota[m][n] = int(math.Ceil(plan.Alloc[m][n][0] - 1e-9))
-		}
-	}
-	return d, nil
 }

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"harmony/internal/binpack"
+)
+
+// typePacking is the CBS rounding result for one machine type. Machine
+// types are a conflict-free partition of the placement problem: type m's
+// packing reads only plan.Active[m]/plan.Alloc[m] and writes only the
+// type-m decision slots, so the per-type packings can run on any number
+// of workers and be merged in type order with a bit-identical result.
+type typePacking struct {
+	active   int
+	packings []map[int]int
+	quota    []int
+	dropped  []int // indexed by container type
+	err      error
+}
+
+// packType rounds period 0 of the plan for machine type m with First-Fit
+// (Algorithm 1): at most ⌈z*⌉+1 machines are used, and by Lemma 1 at
+// least x*/(2|R|) containers of each type fit.
+func (c *Controller) packType(plan *Plan, m int) typePacking {
+	ms := c.Machines[m]
+	p := typePacking{quota: make([]int, len(c.Containers))}
+	zStar := plan.Active[m][0]
+	budget := int(math.Ceil(zStar - 1e-9))
+	if zStar > 1e-9 {
+		budget++ // Lemma 1's z*+1 allowance
+	}
+	if budget > ms.Available {
+		budget = ms.Available
+	}
+	if budget == 0 {
+		return p
+	}
+
+	// Integer container counts for this machine type: floor of the
+	// fractional allocation (the plan already respects capacity).
+	var items []binpack.Item
+	id := 0
+	for n, cs := range c.Containers {
+		count := int(math.Floor(plan.Alloc[m][n][0] + 1e-9))
+		om := cs.Omega
+		if om < 1 {
+			om = 1
+		}
+		for k := 0; k < count; k++ {
+			items = append(items, binpack.Item{
+				ID:      id<<16 | n,
+				Demands: []float64{om * cs.CPU, om * cs.Mem},
+			})
+			id++
+		}
+	}
+	capacity := []float64{ms.CPU, ms.Mem}
+	bins, unplaced, err := binpack.FirstFitBounded(items, capacity, budget)
+	if err != nil {
+		p.err = fmt.Errorf("core: CBS rounding type %d: %w", ms.Type, err)
+		return p
+	}
+	p.active = len(bins)
+	p.packings = make([]map[int]int, len(bins))
+	for bi, bin := range bins {
+		pack := make(map[int]int)
+		for _, it := range bin.Items {
+			n := it.ID & 0xffff
+			pack[n]++
+		}
+		p.packings[bi] = pack
+	}
+	if len(unplaced) > 0 {
+		p.dropped = make([]int, len(c.Containers))
+		for _, it := range unplaced {
+			p.dropped[it.ID&0xffff]++
+		}
+	}
+	// Quotas are the plan's caps (Algorithm 1 lets the scheduler keep
+	// placing as long as the total stays within x^{mn}), not the packed
+	// counts, which floor-rounding would understate.
+	for n := range c.Containers {
+		p.quota[n] = int(math.Ceil(plan.Alloc[m][n][0] - 1e-9))
+	}
+	return p
+}
+
+// roundCBS realizes period 0 with First-Fit packing per machine type.
+// The per-type packings are independent, so they fan out across workers
+// with the same deterministic-reduce recipe as sim's sharded machine
+// audit: work is claimed from an atomic counter, each result lands in
+// its own pre-sized slot, and the merge walks slots in type order — the
+// decision is bit-identical to the serial pass at any GOMAXPROCS.
+func (c *Controller) roundCBS(plan *Plan) (*Decision, error) {
+	nm := len(c.Machines)
+	parts := make([]typePacking, nm)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nm {
+		workers = nm
+	}
+	if workers <= 1 {
+		for m := range parts {
+			parts[m] = c.packType(plan, m)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					m := int(next.Add(1)) - 1
+					if m >= nm {
+						return
+					}
+					parts[m] = c.packType(plan, m)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	d := &Decision{
+		ActiveMachines: make([]int, nm),
+		Quota:          make([][]int, nm),
+		Packings:       make([][]map[int]int, nm),
+		Dropped:        make([]int, len(c.Containers)),
+		Plan:           plan,
+	}
+	for m := range parts {
+		p := &parts[m]
+		if p.err != nil {
+			// Merge in type order, so the reported error is always the
+			// lowest-type failure regardless of completion order.
+			return nil, p.err
+		}
+		d.ActiveMachines[m] = p.active
+		d.Quota[m] = p.quota
+		d.Packings[m] = p.packings
+		for n, cnt := range p.dropped {
+			d.Dropped[n] += cnt
+		}
+	}
+	return d, nil
+}

@@ -66,6 +66,9 @@ type Plan struct {
 	// min(Σ_m x^{mn}_t, demand).
 	Scheduled [][]float64
 	Objective float64
+	// Iterations is the simplex pivot count the solve spent — near zero
+	// when a warm-started basis was already optimal.
+	Iterations int
 }
 
 // ErrBadInput is returned for malformed plan inputs.
@@ -215,12 +218,35 @@ func (v *varIndex) s(n, t int) int    { return v.sBase + n*v.w + t }
 
 // SolveRelaxed builds and solves the CBS-RELAX linear program (Eq. 14
 // objective, Eq. 15 availability, Eq. 16/17 capacity with ω, plus the
-// switching-cost linearization |δ| = δ⁺ + δ⁻).
+// switching-cost linearization |δ| = δ⁺ + δ⁻) from a cold start.
 func SolveRelaxed(in *PlanInput) (*Plan, error) {
+	plan, _, err := SolveRelaxedWarm(in, nil)
+	return plan, err
+}
+
+// SolveRelaxedWarm solves CBS-RELAX seeded from the optimal basis of a
+// previous period's solve and returns the basis for the next period.
+// Across MPC periods only the forecast demand, prices, and initial
+// machine state change — the constraint matrix is identical as long as
+// the machine/container catalog is — so the previous basis is usually
+// optimal or a handful of pivots away. A stale or mismatched basis
+// (catalog change, horizon change) is detected inside lp.SolveWarm and
+// falls back to a cold solve; the answer is identical either way.
+func SolveRelaxedWarm(in *PlanInput, basis *lp.Basis) (*Plan, *lp.Basis, error) {
 	if err := in.validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	v := newVarIndex(in)
+	prob := buildProblem(in, v)
+	sol, next, err := lp.SolveWarm(prob, basis)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: CBS-RELAX: %w", err)
+	}
+	return extractPlan(sol, v), next, nil
+}
+
+// buildProblem assembles the CBS-RELAX LP over the column layout v.
+func buildProblem(in *PlanInput, v *varIndex) *lp.Problem {
 	prob := &lp.Problem{NumVars: v.numCol, Objective: make([]float64, v.numCol)}
 
 	kwhPerWattPeriod := in.PeriodSeconds / 3.6e6
@@ -318,17 +344,17 @@ func SolveRelaxed(in *PlanInput) (*Plan, error) {
 			prob.AddConstraint(row, lp.LE, in.Demand[n][t])
 		}
 	}
+	return prob
+}
 
-	sol, err := lp.Solve(prob)
-	if err != nil {
-		return nil, fmt.Errorf("core: CBS-RELAX: %w", err)
-	}
-
+// extractPlan maps the LP solution vector back onto the plan tensors.
+func extractPlan(sol *lp.Solution, v *varIndex) *Plan {
 	plan := &Plan{
-		Active:    make([][]float64, v.nm),
-		Alloc:     make([][][]float64, v.nm),
-		Scheduled: make([][]float64, v.nn),
-		Objective: sol.Objective,
+		Active:     make([][]float64, v.nm),
+		Alloc:      make([][][]float64, v.nm),
+		Scheduled:  make([][]float64, v.nn),
+		Objective:  sol.Objective,
+		Iterations: sol.Iterations,
 	}
 	for m := 0; m < v.nm; m++ {
 		plan.Active[m] = make([]float64, v.w)
@@ -351,5 +377,5 @@ func SolveRelaxed(in *PlanInput) (*Plan, error) {
 			plan.Scheduled[n][t] = sol.X[v.s(n, t)]
 		}
 	}
-	return plan, nil
+	return plan
 }

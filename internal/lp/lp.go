@@ -1,15 +1,21 @@
-// Package lp provides a dense primal simplex solver for linear programs
+// Package lp provides primal simplex solvers for linear programs
 //
 //	maximize  c·x
 //	subject to  A x {<=,=,>=} b,  x >= 0
 //
 // It is the optimization substrate behind CBS-RELAX (Eq. 14-16 of the
 // paper): with a concave piecewise-linear utility the relaxed provisioning
-// problem is exactly an LP. The solver uses the Big-M method for equality
+// problem is exactly an LP. Both solvers use the Big-M method for equality
 // and >= rows (with the M component of every cost tracked symbolically,
-// so no literal large constant is needed), maintains the reduced-cost rows
-// incrementally, and pivots by Dantzig's rule with a Bland fallback that
-// guarantees termination on degenerate instances.
+// so no literal large constant is needed) and pivot by Dantzig's rule
+// with a Bland fallback that guarantees termination on degenerate
+// instances.
+//
+// Solve and SolveWarm (sparse.go) are the production entry points: a
+// sparse revised simplex with eta-file basis updates and warm starts
+// from a previous optimal basis. SolveDense is the original dense
+// tableau, kept as the independent reference that the sparse engine is
+// differential-tested against.
 package lp
 
 import (
@@ -43,10 +49,12 @@ type Problem struct {
 	Constraints []Constraint
 }
 
-// Solution is an optimal assignment.
+// Solution is an optimal assignment. Iterations counts simplex pivots,
+// which is how warm-start savings are measured.
 type Solution struct {
-	X         []float64
-	Objective float64
+	X          []float64
+	Objective  float64
+	Iterations int
 }
 
 var (
@@ -89,8 +97,10 @@ func (p *Problem) validate() error {
 	return nil
 }
 
-// Solve runs the simplex method and returns an optimal solution.
-func Solve(p *Problem) (*Solution, error) {
+// SolveDense runs the dense tableau simplex and returns an optimal
+// solution. It is retained as the reference implementation; production
+// callers should prefer Solve/SolveWarm (sparse revised simplex).
+func SolveDense(p *Problem) (*Solution, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
@@ -115,6 +125,7 @@ type tableau struct {
 
 	structural int // columns that map back to original variables
 	artificial []bool
+	iters      int
 }
 
 func newTableau(p *Problem) *tableau {
@@ -238,6 +249,7 @@ func (t *tableau) run() error {
 			}
 			return ErrUnbounded
 		}
+		t.iters++
 		t.pivot(leave, enter)
 	}
 	return errors.New("lp: iteration limit exceeded")
@@ -353,5 +365,5 @@ func (t *tableau) solution(p *Problem) (*Solution, error) {
 	for j, c := range p.Objective {
 		obj += c * x[j]
 	}
-	return &Solution{X: x, Objective: obj}, nil
+	return &Solution{X: x, Objective: obj, Iterations: t.iters}, nil
 }

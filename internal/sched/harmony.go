@@ -104,6 +104,20 @@ type Harmony struct {
 	// forecast (tasks/s) for type n's class, recorded on short
 	// sub-types (where all arrivals land); long sub-types keep 0.
 	lastRates []float64
+	// Per-period scratch, allocated once in NewHarmony and overwritten
+	// every tick so the steady-state control path does not churn the
+	// allocator. Handing these buffers out in the Directive (and via
+	// LastDemand) is safe because both consumers finish with one
+	// period's directive before the next Period call: the sim engine
+	// re-applies the directive at every period boundary, and the daemon
+	// runs at most one solve at a time and copies what it keeps.
+	demandBuf  [][]float64
+	ratesBuf   []float64
+	priceBuf   []float64
+	initialBuf []float64
+	quotaBuf   [][]int
+	reserveCPU []float64
+	reserveMem []float64
 }
 
 // NewHarmony validates the configuration and builds the policy.
@@ -282,6 +296,28 @@ func NewHarmony(cfg HarmonyConfig) (*Harmony, error) {
 			h.longFrac[i] = float64(long) / float64(total)
 		}
 	}
+
+	// Tick-path scratch (one backing array per matrix keeps rows hot).
+	nt, nm, w := len(cfg.Types), len(cfg.Machines), cfg.Horizon
+	h.demandBuf = make([][]float64, nt)
+	demandRows := make([]float64, nt*w)
+	for i := range h.demandBuf {
+		h.demandBuf[i] = demandRows[i*w : (i+1)*w : (i+1)*w]
+	}
+	h.quotaBuf = make([][]int, nm)
+	quotaRows := make([]int, nm*nt)
+	for m := range h.quotaBuf {
+		h.quotaBuf[m] = quotaRows[m*nt : (m+1)*nt : (m+1)*nt]
+	}
+	h.ratesBuf = make([]float64, w)
+	h.priceBuf = make([]float64, w)
+	h.initialBuf = make([]float64, nm)
+	h.reserveCPU = make([]float64, nt)
+	h.reserveMem = make([]float64, nt)
+	for i, s := range h.sizing {
+		h.reserveCPU[i] = s.CPU
+		h.reserveMem[i] = s.Mem
+	}
 	return h, nil
 }
 
@@ -365,7 +401,8 @@ func (h *Harmony) ContainerSeries() map[trace.PriorityGroup]stats.Series {
 func (h *Harmony) Sizing() []container.Sizing { return h.sizing }
 
 // LastDemand returns the per-type container demand matrix of the most
-// recent period (for observability and tests).
+// recent period (for observability and tests). The matrix aliases the
+// policy's reusable scratch: it is valid until the next Period call.
 func (h *Harmony) LastDemand() [][]float64 { return h.lastDemand }
 
 // LastDecision returns the most recent controller decision.
@@ -396,14 +433,15 @@ func (h *Harmony) Period(obs *sim.Observation) sim.Directive {
 		h.lastErr = err
 		return sim.Directive{} // keep current machine state
 	}
-	price := make([]float64, h.cfg.Horizon)
+	price := h.priceBuf
 	for t := 0; t < h.cfg.Horizon; t++ {
 		price[t] = h.cfg.Price.At(obs.Time + float64(t)*h.cfg.PeriodSeconds)
 	}
-	initial := make([]float64, len(obs.Active))
-	for i, a := range obs.Active {
-		initial[i] = float64(a)
+	initial := h.initialBuf[:0]
+	for _, a := range obs.Active {
+		initial = append(initial, float64(a))
 	}
+	h.initialBuf = initial
 	// Escalate the utility of types whose queues were starved by
 	// earlier triage: each starved period doubles the pressure term.
 	for n := range h.ctrl.Containers {
@@ -454,11 +492,11 @@ func (h *Harmony) Period(obs *sim.Observation) sim.Directive {
 	// long as capacity allows, and within-period arrival surprises must
 	// not stall on a stale plan. Machine counts remain the energy
 	// control; the slack only relaxes the per-type mix.
-	quota := make([][]int, len(dec.Quota))
+	quota := h.quotaBuf
 	for m := range dec.Quota {
-		quota[m] = make([]int, len(dec.Quota[m]))
+		row := quota[m]
 		for n, q := range dec.Quota[m] {
-			quota[m][n] = int(math.Ceil(float64(q)*quotaSlack)) + 1
+			row[n] = int(math.Ceil(float64(q)*quotaSlack)) + 1
 		}
 	}
 	dir := sim.Directive{
@@ -467,13 +505,10 @@ func (h *Harmony) Period(obs *sim.Observation) sim.Directive {
 		BestFit:      true,
 	}
 	if h.cfg.Mode == core.CBS {
-		// CBS schedules into container reservations.
-		dir.ReserveCPU = make([]float64, len(h.sizing))
-		dir.ReserveMem = make([]float64, len(h.sizing))
-		for i, s := range h.sizing {
-			dir.ReserveCPU[i] = s.CPU
-			dir.ReserveMem[i] = s.Mem
-		}
+		// CBS schedules into container reservations (sized once at
+		// construction; the catalog never changes mid-run).
+		dir.ReserveCPU = h.reserveCPU
+		dir.ReserveMem = h.reserveMem
 	}
 	return dir
 }
@@ -489,10 +524,10 @@ func (h *Harmony) Period(obs *sim.Observation) sim.Directive {
 // additionally charged for the slots that soon-to-be-relabeled long tasks
 // pin for up to one control period.
 func (h *Harmony) containerDemand(obs *sim.Observation) ([][]float64, error) {
-	demand := make([][]float64, len(h.cfg.Types))
+	demand := h.demandBuf
 	for n, tt := range h.cfg.Types {
-		rates, err := h.forecastRates(h.shortSibling[n])
-		if err != nil {
+		rates := h.ratesBuf
+		if err := h.forecastRates(h.shortSibling[n], rates); err != nil {
 			return nil, err
 		}
 		if h.shortSibling[n] == n {
@@ -502,7 +537,7 @@ func (h *Harmony) containerDemand(obs *sim.Observation) ([][]float64, error) {
 		mu := 1 / tt.MeanDuration
 		slo := h.cfg.SLODelay[tt.Group]
 		hint := h.solveHint[n]
-		row := make([]float64, h.cfg.Horizon)
+		row := demand[n]
 		for t := 0; t < h.cfg.Horizon; t++ {
 			lambda := rates[t]
 			pinned := 0.0
@@ -558,20 +593,22 @@ func (h *Harmony) containerDemand(obs *sim.Observation) ([][]float64, error) {
 			}
 			row[0] = base + math.Ceil(drain)
 		}
-		demand[n] = row
 	}
 	return demand, nil
 }
 
-// forecastRates predicts the next Horizon arrival rates for type n. Before
-// MinHistory periods accumulate it uses EWMA over whatever exists; after
-// that it fits the configured ARIMA model, falling back to EWMA when the
-// fit degenerates.
-func (h *Harmony) forecastRates(n int) ([]float64, error) {
+// forecastRates predicts the next len(dst) arrival rates for type n,
+// filling dst in place. Before MinHistory periods accumulate it uses EWMA
+// over whatever exists; after that it fits the configured ARIMA model,
+// falling back to EWMA when the fit degenerates.
+func (h *Harmony) forecastRates(n int, dst []float64) error {
 	hist := h.history[n]
-	w := h.cfg.Horizon
+	w := len(dst)
 	if len(hist) == 0 {
-		return make([]float64, w), nil
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
 	}
 	var pred forecast.Predictor
 	if len(hist) >= h.cfg.MinHistory {
@@ -600,18 +637,19 @@ func (h *Harmony) forecastRates(n int) ([]float64, error) {
 	if pred == nil {
 		e := &forecast.EWMA{Alpha: 0.4}
 		if err := e.Fit(hist); err != nil {
-			return nil, err
+			return err
 		}
 		pred = e
 	}
 	rates, err := pred.Forecast(w)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	for i, r := range rates {
+	copy(dst, rates)
+	for i, r := range dst {
 		if r < 0 || math.IsNaN(r) {
-			rates[i] = 0
+			dst[i] = 0
 		}
 	}
-	return rates, nil
+	return nil
 }

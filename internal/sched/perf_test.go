@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"testing"
+
+	"harmony/internal/core"
+	"harmony/internal/sim"
+)
+
+// steadyHarmony builds a Harmony policy and drives it a few periods so
+// every warm-start path (LP basis, M/G/c hints, scratch buffers) is in
+// its steady state, the way a long simulation or daemon run sees it.
+func steadyHarmony(t testing.TB, mode core.Mode) (*Harmony, *sim.Observation) {
+	t.Helper()
+	cfg := testHarmonyConfig(mode)
+	cfg.Predictor = PredictEWMA
+	h, err := NewHarmony(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &sim.Observation{
+		Arrivals: []int{240, 90, 12},
+		Queued:   []int{3, 1, 0},
+		Running:  []int{15, 8, 4},
+		Active:   []int{2, 1, 1, 0},
+		Price:    0.08,
+	}
+	for i := 0; i < 6; i++ {
+		if dir := h.Period(obs); dir.TargetActive == nil {
+			t.Fatalf("warm-up period %d: %v", i, h.Err())
+		}
+		obs.Time += cfg.PeriodSeconds
+	}
+	return h, obs
+}
+
+// TestPeriodScratchReuse pins the steady-state allocation contract of the
+// tick path: the demand matrix, quota matrix, and reservation slices are
+// allocated once and reused, and containerDemand itself stays within a
+// small per-type allocation budget (the residue is the predictor's fit
+// and forecast, not tick-path bookkeeping).
+func TestPeriodScratchReuse(t *testing.T) {
+	h, obs := steadyHarmony(t, core.CBS)
+
+	dirA := h.Period(obs)
+	demandA := h.LastDemand()
+	obs.Time += h.cfg.PeriodSeconds
+	dirB := h.Period(obs)
+	demandB := h.LastDemand()
+
+	if &demandA[0][0] != &demandB[0][0] {
+		t.Error("demand matrix reallocated between periods")
+	}
+	if &dirA.Quota[0][0] != &dirB.Quota[0][0] {
+		t.Error("quota matrix reallocated between periods")
+	}
+	if &dirA.ReserveCPU[0] != &dirB.ReserveCPU[0] || &dirA.ReserveMem[0] != &dirB.ReserveMem[0] {
+		t.Error("reservation slices rebuilt between periods")
+	}
+
+	// The demand conversion reuses its rows and rate buffer; what remains
+	// per type is the EWMA predictor value and its forecast slice plus
+	// M/G/c solver internals. 8 allocations per type is a generous lid
+	// that still fails loudly if per-period matrix churn returns.
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := h.containerDemand(obs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if lid := float64(8 * len(h.cfg.Types)); allocs > lid {
+		t.Errorf("containerDemand allocates %.0f objects per call, budget %.0f", allocs, lid)
+	} else {
+		t.Logf("containerDemand: %.0f allocs per call (budget %.0f)", allocs, lid)
+	}
+}
+
+// BenchmarkHarmonyPeriod measures one full control-period tick — record
+// arrivals, forecast, size demand via M/G/c, warm-started CBS-RELAX
+// solve, and placement — in its steady state.
+func BenchmarkHarmonyPeriod(b *testing.B) {
+	h, obs := steadyHarmony(b, core.CBS)
+	keep := len(h.history[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dir := h.Period(obs); dir.TargetActive == nil {
+			b.Fatal(h.Err())
+		}
+		// Truncate the arrival history the loop just appended so every
+		// iteration forecasts over the same window instead of an
+		// ever-growing one.
+		for n := range h.history {
+			h.history[n] = h.history[n][:keep]
+		}
+	}
+}
