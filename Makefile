@@ -9,9 +9,11 @@ vet:
 	$(GO) vet ./...
 
 # go vet plus the repo's own determinism/concurrency analyzers
-# (internal/lint, see DESIGN.md §9).
+# (internal/lint, see DESIGN.md §9), and a drift check that the shipped
+# analyzer set still matches the documented one.
 lint: vet
 	$(GO) run ./cmd/harmony-lint ./...
+	$(GO) run ./cmd/harmony-lint -list | diff -u cmd/harmony-lint/testdata/analyzers.txt -
 
 test:
 	$(GO) test ./...

@@ -2,19 +2,24 @@
 // internal/lint over the module — the multichecker CI runs alongside go
 // vet. Exit status: 0 clean, 1 findings, 2 usage or load failure.
 //
-//	harmony-lint [-analyzers a,b,...] [packages...]
+//	harmony-lint [-analyzers a,b,...] [-json] [packages...]
 //
 // With no packages it checks ./... from the enclosing module root.
-// Findings can be suppressed in place with
-// `//harmony:allow <analyzer> <reason>` on the flagged line or the line
-// above it; see internal/lint.
+// -json emits the findings as a JSON array (file, line, column,
+// analyzer, message, and the call-path witness for interprocedural
+// findings), sorted the same way as the text output, with file paths
+// relative to the working directory. Findings can be suppressed in place
+// with `//harmony:allow <analyzer> <reason>` on the flagged line or the
+// line above it; see internal/lint.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"harmony/internal/lint"
@@ -28,10 +33,15 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("harmony-lint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		names = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		list  = fs.Bool("list", false, "list analyzers and exit")
+		names   = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list && *jsonOut {
+		fmt.Fprintln(errOut, "harmony-lint: -list and -json cannot be combined")
 		return 2
 	}
 
@@ -62,12 +72,60 @@ func run(args []string, out, errOut io.Writer) int {
 		return 2
 	}
 	diags := lint.Check(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Fprintln(out, d)
+	if *jsonOut {
+		cwd, err := os.Getwd()
+		if err != nil {
+			cwd = "" // keep absolute paths rather than fail the run
+		}
+		if err := writeFindingsJSON(out, cwd, diags); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(errOut, "harmony-lint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is one finding in -json output. Path is the call-chain
+// witness of an interprocedural finding, outermost caller first.
+type jsonFinding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Column   int      `json:"column"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Path     []string `json:"path,omitempty"`
+}
+
+// writeFindingsJSON renders the diagnostics as a JSON array, preserving
+// their sorted order, with file paths relative to base when they lie
+// under it.
+func writeFindingsJSON(out io.Writer, base string, diags []lint.Diagnostic) error {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if base != "" {
+			if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		findings = append(findings, jsonFinding{
+			File:     file,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Path:     d.Path,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
 }

@@ -2,8 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"harmony/internal/lint"
 )
 
 func TestRunList(t *testing.T) {
@@ -50,5 +56,84 @@ func TestRunCleanPackage(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Errorf("unexpected findings:\n%s", out.String())
+	}
+}
+
+// TestRunListGolden pins the -list output to the documented analyzer
+// set; CI diffs the binary's output against the same golden file, so
+// adding an analyzer without documenting it fails both.
+func TestRunListGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "analyzers.txt"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -list = %d, stderr %q", code, errOut.String())
+	}
+	if out.String() != string(golden) {
+		t.Errorf("-list output drifted from testdata/analyzers.txt:\n--- golden\n%s--- got\n%s",
+			golden, out.String())
+	}
+}
+
+func TestRunListJSONConflict(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list", "-json"}, &out, &errOut); code != 2 {
+		t.Fatalf("run -list -json = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "cannot be combined") {
+		t.Errorf("stderr %q missing conflict error", errOut.String())
+	}
+}
+
+// TestWriteFindingsJSON pins the -json shape against a golden file:
+// sorted order preserved, paths relativized only under the base, the
+// witness path present only when non-empty.
+func TestWriteFindingsJSON(t *testing.T) {
+	base := "/work/repo"
+	diags := []lint.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/work/repo/internal/sched/harmony.go", Line: 42, Column: 7},
+			Analyzer: "detertaint",
+			Message:  "call of x transitively reads time.Now (wall clock)",
+			Path:     []string{"sched.(*Harmony).Period", "impure.Stamp", "time.Now (wall clock)"},
+		},
+		{
+			Pos:      token.Position{Filename: "/elsewhere/outside.go", Line: 7, Column: 1},
+			Analyzer: "floateq",
+			Message:  "float == comparison",
+		},
+	}
+	var out bytes.Buffer
+	if err := writeFindingsJSON(&out, base, diags); err != nil {
+		t.Fatalf("writeFindingsJSON: %v", err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "findings.json"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("-json output drifted from testdata/findings.json:\n--- golden\n%s--- got\n%s",
+			golden, out.String())
+	}
+}
+
+// TestRunJSONCleanPackage drives -json through the real loader: a clean
+// package must produce an empty JSON array and exit 0.
+func TestRunJSONCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "./internal/queueing"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -json ./internal/queueing = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("unexpected findings: %+v", findings)
 	}
 }

@@ -72,7 +72,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		return err
 	}
 	ch, err := classify.Load(f)
-	f.Close()
+	f.Close() //harmony:allow errflow read-only close; a Load failure is what matters and is checked below
 	if err != nil {
 		return fmt.Errorf("load characterization: %w", err)
 	}

@@ -259,6 +259,7 @@ func Drain(bins []*Bin, targetBins int) (kept []*Bin, stranded []Item) {
 			moved := false
 			for _, dst := range kept {
 				if dst.Fits(it) {
+					//harmony:allow errflow Add cannot fail after the Fits check above
 					_ = dst.Add(it)
 					moved = true
 					break

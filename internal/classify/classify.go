@@ -244,6 +244,7 @@ func splitDurations(durs []float64, cfg Config) []SubClass {
 }
 
 func subClassOf(durs []float64) SubClass {
+	//harmony:allow errflow Max only errors on an empty slice; callers split non-empty duration sets
 	mx, _ := stats.Max(durs)
 	return SubClass{
 		MeanDuration: stats.Mean(durs),

@@ -84,6 +84,8 @@ func (d *Decision) TotalActive() int {
 // Step runs one MPC iteration: solve CBS-RELAX for the given initial
 // machine state, per-type demand over the horizon, and prices, then round
 // period 0 of the plan to integers according to the controller's mode.
+//
+//harmony:coldpath per-tick MPC assembly (problem build, LP setup, decision) is sized by the instance; the pivot loops and placement merge carry their own hotpath roots
 func (c *Controller) Step(initialActive []float64, demand [][]float64, price []float64) (*Decision, error) {
 	in := &PlanInput{
 		PeriodSeconds: c.PeriodSeconds,
@@ -130,6 +132,7 @@ func dumpPlanInput(in *PlanInput, path string) {
 	}
 	defer f.Close()
 	enc := json.NewEncoder(f)
+	//harmony:allow errflow best-effort debug dump; a partial file is acceptable
 	_ = enc.Encode(in)
 }
 

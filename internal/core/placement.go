@@ -134,12 +134,23 @@ func (c *Controller) roundCBS(plan *Plan) (*Decision, error) {
 		Dropped:        make([]int, len(c.Containers)),
 		Plan:           plan,
 	}
+	if err := mergeParts(d, parts); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// mergeParts folds the per-type packings into the decision in type
+// order, so the result (and the reported error, always the lowest-type
+// failure) is bit-identical to the serial pass regardless of worker
+// completion order. The merge writes only into pre-sized storage.
+//
+//harmony:hotpath
+func mergeParts(d *Decision, parts []typePacking) error {
 	for m := range parts {
 		p := &parts[m]
 		if p.err != nil {
-			// Merge in type order, so the reported error is always the
-			// lowest-type failure regardless of completion order.
-			return nil, p.err
+			return p.err
 		}
 		d.ActiveMachines[m] = p.active
 		d.Quota[m] = p.quota
@@ -148,5 +159,5 @@ func (c *Controller) roundCBS(plan *Plan) (*Decision, error) {
 			d.Dropped[n] += cnt
 		}
 	}
-	return d, nil
+	return nil
 }

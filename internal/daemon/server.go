@@ -273,6 +273,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	//harmony:allow errflow HTTP response write; the client disconnecting is not an error we can handle
 	io.WriteString(w, s.eng.cfg.Registry.Render())
 }
 
@@ -281,6 +282,7 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	//harmony:allow errflow HTTP response write; the client disconnecting is not an error we can handle
 	_ = enc.Encode(v)
 }
 

@@ -2,9 +2,11 @@ package lint
 
 // A miniature analysistest: fixture packages under testdata/src/<name>
 // carry `// want `regexp`` comments on the lines an analyzer must flag;
-// runFixture loads the package, runs the analyzer with its production
-// package/file scope bypassed (annotation suppression still applies), and
-// fails on any missed want or unexpected diagnostic.
+// runFixture loads the package tree (subdirectories become importable
+// fixture sub-packages, so interprocedural analyzers can be exercised
+// across package boundaries), runs the analyzer with its production
+// package/file scope bypassed (annotation suppression still applies),
+// and fails on any missed want or unexpected diagnostic.
 
 import (
 	"go/token"
@@ -46,19 +48,14 @@ type expectation struct {
 
 func collectWants(t *testing.T, dir string) []*expectation {
 	t.Helper()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("read fixture dir: %v", err)
-	}
 	var wants []*expectation
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
 		}
-		path := filepath.Join(dir, e.Name())
 		data, err := os.ReadFile(path)
 		if err != nil {
-			t.Fatalf("read fixture: %v", err)
+			return err
 		}
 		for i, line := range strings.Split(string(data), "\n") {
 			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
@@ -70,18 +67,25 @@ func collectWants(t *testing.T, dir string) []*expectation {
 				wants = append(wants, &expectation{file: path, line: i + 1, re: re})
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("collect wants: %v", err)
 	}
 	return wants
 }
 
-func runFixture(t *testing.T, az *Analyzer) {
+// runFixture checks one analyzer (or a co-running set, for analyzers
+// that depend on each other's bookkeeping, like unusedallow) against the
+// fixture tree named after the first analyzer.
+func runFixture(t *testing.T, azs ...*Analyzer) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", az.Name)
-	pkg, err := sharedLoader(t).LoadDir(dir)
+	dir := filepath.Join("testdata", "src", azs[0].Name)
+	pkgs, err := sharedLoader(t).LoadFixtureTree(dir)
 	if err != nil {
 		t.Fatalf("load fixture %s: %v", dir, err)
 	}
-	diags := checkPackage(pkg, []*Analyzer{az}, false)
+	diags := checkAll(pkgs, azs, false)
 	wants := collectWants(t, dir)
 	if len(wants) == 0 {
 		t.Fatalf("fixture %s has no want expectations", dir)
@@ -115,6 +119,15 @@ func TestRNGDisciplineFixture(t *testing.T) { runFixture(t, RNGDiscipline) }
 func TestSortedEmitFixture(t *testing.T)    { runFixture(t, SortedEmit) }
 func TestFloatEqFixture(t *testing.T)       { runFixture(t, FloatEq) }
 func TestMutexSpanFixture(t *testing.T)     { runFixture(t, MutexSpan) }
+func TestDeterTaintFixture(t *testing.T)    { runFixture(t, DeterTaint) }
+func TestGoLeakFixture(t *testing.T)        { runFixture(t, GoLeak) }
+func TestHotPathAllocFixture(t *testing.T)  { runFixture(t, HotPathAlloc) }
+func TestErrFlowFixture(t *testing.T)       { runFixture(t, ErrFlow) }
+
+// unusedallow consumes the other analyzers' suppression bookkeeping, so
+// its fixture co-runs floateq: one allow in the fixture suppresses a real
+// floateq finding (used), one suppresses nothing (stale, flagged).
+func TestUnusedAllowFixture(t *testing.T) { runFixture(t, UnusedAllow, FloatEq) }
 
 // TestTreeClean is the in-test twin of `harmony-lint ./...`: the whole
 // module must be free of findings (modulo annotations), so a reverted fix
@@ -146,6 +159,9 @@ func TestScopes(t *testing.T) {
 		{NoDeterm, "harmony/internal/sim", true},
 		{NoDeterm, "harmony/internal/daemon", true},
 		{NoDeterm, "harmony/cmd/harmonyd", true},
+		{NoDeterm, "harmony/internal/forecast", true},
+		{NoDeterm, "harmony/internal/classify", true},
+		{NoDeterm, "harmony/internal/kmeans", true},
 		{NoDeterm, "harmony/internal/trace", false},
 		{RNGDiscipline, "harmony/internal/stats", false},
 		{RNGDiscipline, "harmony/internal/trace", true},
@@ -163,11 +179,32 @@ func TestScopes(t *testing.T) {
 	if MutexSpan.Files("harmony/internal/sim", "/x/sim.go") {
 		t.Error("mutexspan should not cover internal/sim/sim.go")
 	}
+	// Module analyzers scope themselves.
+	for _, c := range []struct {
+		pkg, file string
+		applies   bool
+	}{
+		{"harmony/internal/daemon", "/x/engine.go", true},
+		{"harmony", "/x/parallel.go", true},
+		{"harmony", "/x/harmony.go", false},
+		{"harmony/internal/sim", "/x/parallel.go", true},
+		{"harmony/internal/sim", "/x/sim.go", false},
+		{"harmony/internal/core", "/x/placement.go", true},
+		{"harmony/internal/core", "/x/relax.go", false},
+		{"harmony/internal/stats", "/x/rng.go", false},
+	} {
+		if got := goleakCovered(c.pkg, c.file); got != c.applies {
+			t.Errorf("goleakCovered(%q, %q) = %v, want %v", c.pkg, c.file, got, c.applies)
+		}
+	}
+	if !detertaintDeterministic("harmony/internal/sched") || detertaintDeterministic("harmony/internal/stats") {
+		t.Error("detertaint deterministic-package scope wrong")
+	}
 }
 
 func TestByName(t *testing.T) {
-	azs, err := ByName([]string{"floateq", "nodeterm"})
-	if err != nil || len(azs) != 2 {
+	azs, err := ByName([]string{"floateq", "nodeterm", "detertaint"})
+	if err != nil || len(azs) != 3 {
 		t.Fatalf("ByName: %v %v", azs, err)
 	}
 	if _, err := ByName([]string{"nosuch"}); err == nil {
@@ -175,8 +212,14 @@ func TestByName(t *testing.T) {
 	}
 	names := map[string]bool{}
 	for _, az := range All() {
-		if az.Name == "" || az.Doc == "" || az.Run == nil {
+		if az.Name == "" || az.Doc == "" {
 			t.Errorf("analyzer %+v incomplete", az)
+		}
+		if az.Run == nil && az.RunModule == nil && az != UnusedAllow {
+			t.Errorf("analyzer %s has neither Run nor RunModule", az.Name)
+		}
+		if az.Run != nil && az.RunModule != nil {
+			t.Errorf("analyzer %s has both Run and RunModule", az.Name)
 		}
 		if names[az.Name] {
 			t.Errorf("duplicate analyzer name %s", az.Name)
@@ -185,12 +228,15 @@ func TestByName(t *testing.T) {
 	}
 }
 
-// TestAllowGrammar pins the annotation grammar: same line and line above
-// both suppress, mismatched analyzer names do not.
+// TestAllowGrammar pins the annotation grammar: an annotation binds to
+// its own line, the line below, and — through a contiguous comment block
+// — the first code line after the block; mismatched analyzer names never
+// match, and consultation marks the annotation used.
 func TestAllowGrammar(t *testing.T) {
-	set := allowSet{
-		"f.go": {10: {"floateq": true}},
-	}
+	ann := &allowAnn{analyzer: "floateq", pos: token.Position{Filename: "f.go", Line: 10}}
+	set := &allowSet{byLine: map[string]map[int][]*allowAnn{}, anns: []*allowAnn{ann}}
+	set.bind(ann, 10)
+	set.bind(ann, 11)
 	for _, c := range []struct {
 		line int
 		name string
@@ -205,5 +251,8 @@ func TestAllowGrammar(t *testing.T) {
 		if got := set.allows(c.name, pos); got != c.want {
 			t.Errorf("allows(%s, line %d) = %v, want %v", c.name, c.line, got, c.want)
 		}
+	}
+	if !ann.used {
+		t.Error("matching consultation should mark the annotation used")
 	}
 }

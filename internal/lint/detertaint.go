@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/types"
+	"sort"
+)
+
+// DeterTaint closes nodeterm's cross-package hole. nodeterm only sees a
+// *direct* time.Now / os.Getenv / global math/rand call inside a
+// deterministic package; a helper in internal/stats or internal/trace
+// that reads the wall clock is invisible to every caller in sim, sched,
+// or core. DeterTaint seeds taint at those nondeterministic roots
+// anywhere in the module, propagates it along the call graph (including
+// go/defer edges and conservative interface and function-value
+// dispatch), and flags every call site where a deterministic package
+// hands control to a tainted function outside the deterministic set. The
+// diagnostic carries the full witness chain from the call site to the
+// root.
+//
+// A `//harmony:allow nodeterm <reason>` or `//harmony:allow detertaint
+// <reason>` at the root call site stops the taint at the source: the
+// human vouching that a wall-clock read does not influence decisions
+// (e.g. a latency metric) clears every transitive caller at once.
+//
+// Edges within the deterministic set are deliberately not reported:
+// direct roots there are nodeterm findings, and a tainted deterministic
+// callee is flagged at its own boundary call, so each violation surfaces
+// exactly once, at the point where determinism is first lost.
+var DeterTaint = &Analyzer{
+	Name: "detertaint",
+	Doc: "flag deterministic-package calls whose transitive callees read the wall clock, " +
+		"the environment, or the global RNG, with the full call-path witness",
+	RunModule: runDeterTaint,
+}
+
+// detertaintFixture marks the fixture tree as deterministic so the
+// analyzer can be exercised outside its production scope.
+const detertaintFixture = "fixture/detertaint"
+
+func detertaintDeterministic(pkgPath string) bool {
+	return deterministicPkgs[pkgPath] || pkgPath == detertaintFixture
+}
+
+// taintInfo records why a function is tainted: the next hop toward a
+// nondeterministic root, and the root itself.
+type taintInfo struct {
+	next *Node  // nil when the root call is in this very function
+	root string // e.g. "time.Now (wall clock)"
+}
+
+func runDeterTaint(pass *ModulePass) {
+	tainted := make(map[*Node]taintInfo)
+
+	// Seed: functions containing a direct, un-vouched-for root call.
+	var frontier []*Node
+	for _, n := range pass.Graph.Funcs {
+		for _, ext := range n.Ext {
+			why, ok := taintRoot(ext.Fn)
+			if !ok {
+				continue
+			}
+			if pass.Allowed(pass.Analyzer.Name, ext.Pos) || pass.Allowed("nodeterm", ext.Pos) {
+				continue
+			}
+			if _, seen := tainted[n]; !seen {
+				tainted[n] = taintInfo{root: why}
+				frontier = append(frontier, n)
+			}
+			break
+		}
+	}
+
+	// Propagate backwards along call edges, breadth-first so every
+	// witness path is a shortest chain to its root. The frontier is
+	// processed in deterministic graph order.
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i].Name < frontier[j].Name })
+		var next []*Node
+		for _, n := range frontier {
+			for _, e := range n.In {
+				if _, seen := tainted[e.Caller]; seen {
+					continue
+				}
+				tainted[e.Caller] = taintInfo{next: n, root: tainted[n].root}
+				next = append(next, e.Caller)
+			}
+		}
+		frontier = next
+	}
+
+	// Report each boundary crossing: a deterministic-package function
+	// calling a tainted function that is not itself deterministic-scope.
+	for _, n := range pass.Graph.Funcs {
+		if !detertaintDeterministic(n.Pkg.Path) {
+			continue
+		}
+		for _, e := range n.Out {
+			ti, ok := tainted[e.Callee]
+			if !ok || detertaintDeterministic(e.Callee.Pkg.Path) {
+				continue
+			}
+			path := witnessPath(n, e.Callee, tainted)
+			via := ""
+			if e.Dynamic {
+				via = " (via " + e.Via + ")"
+			}
+			pass.ReportPathf(e.Pos, path,
+				"%s of %s%s transitively reads %s: %s; deterministic packages must take it as input (//harmony:allow detertaint <reason> to permit)",
+				e.Kind, e.Callee.Name, via, ti.root, PathString(path))
+		}
+	}
+}
+
+// witnessPath renders caller → … → root for the diagnostic.
+func witnessPath(caller, callee *Node, tainted map[*Node]taintInfo) []string {
+	path := []string{caller.Name}
+	for n := callee; n != nil; {
+		path = append(path, n.Name)
+		ti := tainted[n]
+		if ti.next == nil {
+			path = append(path, ti.root)
+			break
+		}
+		n = ti.next
+	}
+	return path
+}
+
+// taintRoot reports whether fn is a nondeterministic root and why.
+// Roots are package-level functions only: a method on *rand.Rand is a
+// seeded stream, not the process-global source.
+func taintRoot(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	if why, ok := nodetermBanned[path][name]; ok {
+		return pathBase(path) + "." + name + " (" + why + ")", true
+	}
+	if (path == "math/rand" || path == "math/rand/v2") && !rngConstructors[name] {
+		return "rand." + name + " (process-global RNG)", true
+	}
+	return "", false
+}
+
+// The map-iteration-order family of roots is intentionally absent here:
+// most map ranges are order-insensitive aggregations, so whole-program
+// taint from every map range would be all noise. sortedemit enforces the
+// ordered-iteration contract per package at the emit sites themselves.

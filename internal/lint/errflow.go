@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrFlow flags discarded errors in production (non-test) code: a call
+// whose results include an error used as a bare statement, and blank
+// assignments (`_ = f()`, `v, _ := f()`) that throw an error component
+// away. A deliberate discard carries `//harmony:allow errflow <reason>`
+// on or above the line, so the reason is adjacent to the discard.
+//
+// Pragmatic exemptions, mirroring the contracts involved:
+//   - fmt.Print/Println/Printf/Fprint* — best-effort human output
+//   - methods on bytes.Buffer and strings.Builder — documented to never
+//     return a non-nil error
+//   - deferred calls — deferred cleanup is best-effort by convention;
+//     a Close whose error matters must be checked explicitly
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "flag unchecked error-returning calls and blank error discards in production packages",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.DeferStmt:
+				return false // deferred cleanup is exempt
+			case *ast.ExprStmt:
+				call, ok := astUnparen(st.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pos, name, ok := discardedError(pass, call); ok {
+					pass.Reportf(pos,
+						"error result of %s is discarded; handle it or annotate //harmony:allow errflow <reason>",
+						name)
+				}
+				return true
+			case *ast.GoStmt:
+				if pos, name, ok := discardedError(pass, st.Call); ok {
+					pass.Reportf(pos,
+						"error result of %s is discarded by the go statement; collect it (//harmony:allow errflow <reason> to permit)",
+						name)
+				}
+				return true
+			case *ast.AssignStmt:
+				checkBlankErr(pass, st)
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// discardedError reports whether the bare call drops an error result.
+func discardedError(pass *Pass, call *ast.CallExpr) (pos token.Pos, name string, drop bool) {
+	tv, ok := pass.Pkg.Info.Types[call]
+	if !ok || !hasErrorResult(tv.Type) {
+		return token.NoPos, "", false
+	}
+	fn := calleeFunc(pass, call)
+	if errFlowExempt(fn) {
+		return token.NoPos, "", false
+	}
+	label := "the call"
+	if fn != nil {
+		label = prettyFuncName(fn)
+	}
+	return call.Pos(), label, true
+}
+
+// calleeFunc resolves the called *types.Func when statically known.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	if fn := staticCallee(pass.Pkg.Info, call); fn != nil {
+		return fn
+	}
+	if sel, ok := astUnparen(call.Fun).(*ast.SelectorExpr); ok {
+		if selection, ok := pass.Pkg.Info.Selections[sel]; ok {
+			fn, _ := selection.Obj().(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// checkBlankErr flags `_` assignments whose corresponding value is an
+// error: `_ = f()`, `v, _ := g()` with g's second result an error.
+func checkBlankErr(pass *Pass, as *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	// Multi-value form: x, _ := f().
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		tv, ok := info.Types[as.Rhs[0]]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if i >= tuple.Len() {
+				break
+			}
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) && !rhsExempt(pass, as.Rhs[0]) {
+				pass.Reportf(lhs.Pos(),
+					"error discarded into _; handle it or annotate //harmony:allow errflow <reason>")
+			}
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		tv, ok := info.Types[as.Rhs[i]]
+		if !ok {
+			continue
+		}
+		if isErrorType(tv.Type) && !rhsExempt(pass, as.Rhs[i]) {
+			pass.Reportf(lhs.Pos(),
+				"error discarded into _; handle it or annotate //harmony:allow errflow <reason>")
+		}
+	}
+}
+
+// rhsExempt applies the call exemptions to the assignment form.
+func rhsExempt(pass *Pass, rhs ast.Expr) bool {
+	call, ok := astUnparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return errFlowExempt(calleeFunc(pass, call))
+}
+
+// errFlowExempt implements the documented exemptions.
+func errFlowExempt(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if path == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	owner := named.Obj()
+	if owner.Pkg() == nil {
+		return false
+	}
+	switch owner.Pkg().Path() + "." + owner.Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// hasErrorResult reports whether a call result type contains an error:
+// a lone error or a tuple with an error component.
+func hasErrorResult(t types.Type) bool {
+	if isErrorType(t) {
+		return true
+	}
+	tuple, ok := t.(*types.Tuple)
+	if !ok {
+		return false
+	}
+	for i := 0; i < tuple.Len(); i++ {
+		if isErrorType(tuple.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -3,20 +3,34 @@
 // contracts — the conventions (seeded internal/stats RNG only, no
 // wall-clock or environment reads in control paths, sorted iteration
 // before any output, tolerance-based float comparison, no blocking calls
-// under a mutex) that the bit-identical simulation and replay guarantees
-// rest on.
+// under a mutex, joined goroutines, allocation-free hot paths) that the
+// bit-identical simulation and replay guarantees rest on.
 //
 // The framework mirrors golang.org/x/tools/go/analysis in miniature but
 // is dependency-free: packages are loaded through `go list -export` plus
-// the standard library's gc importer (see Loader), and each Analyzer is a
-// function over a type-checked Package.
+// the standard library's gc importer (see Loader), and each Analyzer is
+// either a function over one type-checked Package (Run) or a whole-module
+// pass over every loaded package plus the module call graph (RunModule;
+// see Graph). Interprocedural analyzers — detertaint, goleak,
+// hotpathalloc — are module passes; the rest run per package.
 //
 // A finding can be silenced in place with an annotation on the flagged
-// line or the line directly above it:
+// line, at the end of it, or in the contiguous comment block directly
+// above it:
 //
 //	//harmony:allow <analyzer> [reason...]
 //
-// The reason is free text; the analyzer name must match exactly.
+// The reason is free text; the analyzer name must match exactly. The
+// unusedallow analyzer reports annotations that no longer suppress
+// anything, so suppressions cannot rot silently.
+//
+// Two further function-level annotations drive hotpathalloc (they go in
+// the function's doc comment):
+//
+//	//harmony:hotpath  [reason...]  — the function and everything it
+//	        transitively calls must not allocate
+//	//harmony:coldpath [reason...]  — stop descending here: a fallback,
+//	        error path, or explicitly budgeted residue
 package lint
 
 import (
@@ -28,18 +42,23 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. Path, when non-empty, is the call-chain
+// witness of an interprocedural finding, outermost caller first.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Path     []string
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check. Exactly one of Run (per type-checked
+// package) and RunModule (once over every loaded package, with the module
+// call graph) is set; unusedallow sets neither and is special-cased in
+// checkAll because it consumes the other analyzers' suppression usage.
 type Analyzer struct {
 	Name string
 	Doc  string
@@ -47,12 +66,14 @@ type Analyzer struct {
 	// Packages reports whether the analyzer applies to a package; nil
 	// means every package. The fixture runner bypasses this so testdata
 	// exercises analyzers regardless of their production scope.
+	// Module analyzers scope themselves inside RunModule instead.
 	Packages func(pkgPath string) bool
 	// Files restricts findings to specific files within an applicable
 	// package; nil means every file.
 	Files func(pkgPath, filename string) bool
 
-	Run func(*Pass)
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one analyzer run over one package.
@@ -72,40 +93,126 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
+// ModulePass carries one module analyzer run over every loaded package.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Graph    *Graph
+
+	allows *allowSet
+	diags  []Diagnostic
+}
+
+// Fset returns the shared file set of the loaded packages.
+func (p *ModulePass) Fset() *token.FileSet { return p.Pkgs[0].Fset }
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.ReportPathf(pos, nil, format, args...)
+}
+
+// ReportPathf records a finding at pos carrying a call-chain witness.
+func (p *ModulePass) ReportPathf(pos token.Pos, path []string, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset().Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Path:     path,
+	})
+}
+
+// Allowed reports whether an annotation suppresses the named analyzer at
+// pos. Module analyzers use it to let a vetted //harmony:allow at a taint
+// root stop propagation instead of merely hiding the boundary diagnostic.
+func (p *ModulePass) Allowed(name string, pos token.Pos) bool {
+	return p.allows.allows(name, p.Fset().Position(pos))
+}
+
 // Check runs the analyzers over the packages, honoring each analyzer's
 // package/file scope and the //harmony:allow annotations, and returns the
 // surviving diagnostics sorted by position.
 func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		out = append(out, checkPackage(pkg, analyzers, true)...)
-	}
-	sortDiagnostics(out)
-	return out
+	return checkAll(pkgs, analyzers, true)
 }
 
-// checkPackage runs the analyzers over one package. When scoped is false
-// the Packages/Files predicates are ignored (fixture mode); allow
-// annotations are honored either way.
-func checkPackage(pkg *Package, analyzers []*Analyzer, scoped bool) []Diagnostic {
-	allows := collectAllows(pkg)
-	var out []Diagnostic
+// checkAll is the shared engine behind Check and the fixture runner. When
+// scoped is false the Packages/Files predicates are ignored (fixture
+// mode); allow annotations are honored either way. Per-package analyzers
+// run first, then module analyzers over the call graph, and finally
+// unusedallow — which must come last because it reports the annotations
+// nothing before it consumed.
+func checkAll(pkgs []*Package, analyzers []*Analyzer, scoped bool) []Diagnostic {
+	allows := collectAllows(pkgs...)
+	ran := make(map[string]bool)
+	unused := false
+	var moduleAzs []*Analyzer
 	for _, az := range analyzers {
-		if scoped && az.Packages != nil && !az.Packages(pkg.Path) {
+		if az.Name == UnusedAllow.Name {
+			unused = true
 			continue
 		}
-		pass := &Pass{Analyzer: az, Pkg: pkg}
-		az.Run(pass)
-		for _, d := range pass.diags {
-			if scoped && az.Files != nil && !az.Files(pkg.Path, d.Pos.Filename) {
+		ran[az.Name] = true
+		if az.RunModule != nil {
+			moduleAzs = append(moduleAzs, az)
+		}
+	}
+
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, az := range analyzers {
+			if az.Run == nil {
 				continue
 			}
-			if allows.allows(az.Name, d.Pos) {
+			if scoped && az.Packages != nil && !az.Packages(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: az, Pkg: pkg}
+			az.Run(pass)
+			for _, d := range pass.diags {
+				if scoped && az.Files != nil && !az.Files(pkg.Path, d.Pos.Filename) {
+					continue
+				}
+				if allows.allows(az.Name, d.Pos) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+
+	if len(moduleAzs) > 0 {
+		g := BuildGraph(pkgs)
+		for _, az := range moduleAzs {
+			mp := &ModulePass{Analyzer: az, Pkgs: pkgs, Graph: g, allows: allows}
+			az.RunModule(mp)
+			for _, d := range mp.diags {
+				if allows.allows(az.Name, d.Pos) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+
+	if unused {
+		for _, ann := range allows.anns {
+			if ann.used || !ran[ann.analyzer] {
+				continue
+			}
+			d := Diagnostic{
+				Pos:      ann.pos,
+				Analyzer: UnusedAllow.Name,
+				Message: fmt.Sprintf(
+					"//harmony:allow %s suppresses nothing; delete the stale annotation",
+					ann.analyzer),
+			}
+			if allows.allows(UnusedAllow.Name, d.Pos) {
 				continue
 			}
 			out = append(out, d)
 		}
 	}
+
 	sortDiagnostics(out)
 	return out
 }
@@ -122,71 +229,128 @@ func sortDiagnostics(ds []Diagnostic) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 }
 
-// allowSet indexes //harmony:allow annotations: file -> line -> analyzer
-// names allowed there.
-type allowSet map[string]map[int]map[string]bool
-
-// allows reports whether a diagnostic from the named analyzer at pos is
-// suppressed: an annotation counts on the flagged line itself or on the
-// line directly above it.
-func (a allowSet) allows(name string, pos token.Position) bool {
-	lines := a[pos.Filename]
-	if lines == nil {
-		return false
-	}
-	return lines[pos.Line][name] || lines[pos.Line-1][name]
+// allowAnn is one //harmony:allow annotation, with its consumption state:
+// an annotation never consulted by a matching diagnostic is stale, which
+// unusedallow reports.
+type allowAnn struct {
+	analyzer string
+	pos      token.Position // annotation site
+	used     bool
 }
 
-const allowPrefix = "harmony:allow"
+// allowSet indexes annotations by the lines they bind to. An annotation
+// binds to its own line (covering end-of-line annotations and, for
+// compatibility, the line below) and to the first line after its
+// enclosing contiguous comment block — so a regular // comment between
+// the annotation and the flagged code does not break the binding.
+type allowSet struct {
+	byLine map[string]map[int][]*allowAnn // file -> bound line -> annotations
+	anns   []*allowAnn                    // collection order, for unusedallow
+}
 
-// collectAllows scans every comment in the package for allow annotations.
-func collectAllows(pkg *Package) allowSet {
-	set := make(allowSet)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimPrefix(text, "/*")
-				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
-				if !strings.HasPrefix(text, allowPrefix) {
-					continue
+// allows reports whether a diagnostic from the named analyzer at pos is
+// suppressed, marking the matching annotation as used.
+func (a *allowSet) allows(name string, pos token.Position) bool {
+	hit := false
+	for _, ann := range a.byLine[pos.Filename][pos.Line] {
+		if ann.analyzer == name {
+			ann.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+const (
+	allowPrefix    = "harmony:allow"
+	hotPathMarker  = "harmony:hotpath"
+	coldPathMarker = "harmony:coldpath"
+)
+
+// commentDirective strips the comment syntax from c and, when the result
+// starts with the given marker, returns the remainder (the marker's
+// arguments) and true.
+func commentDirective(c *ast.Comment, marker string) (string, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+	if text != marker && !strings.HasPrefix(text, marker+" ") {
+		return "", false
+	}
+	return strings.TrimSpace(strings.TrimPrefix(text, marker)), true
+}
+
+// collectAllows scans every comment in the packages for allow annotations.
+func collectAllows(pkgs ...*Package) *allowSet {
+	set := &allowSet{byLine: make(map[string]map[int][]*allowAnn)}
+	seen := make(map[string]bool) // file:line:analyzer, dedup
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				groupEnd := pkg.Fset.Position(cg.End()).Line
+				for _, c := range cg.List {
+					args, ok := commentDirective(c, allowPrefix)
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(args)
+					if len(fields) == 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					// Only the first field is the analyzer name; the rest
+					// is a free-text reason.
+					key := fmt.Sprintf("%s:%d:%s", pos.Filename, pos.Line, fields[0])
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					ann := &allowAnn{analyzer: fields[0], pos: pos}
+					set.anns = append(set.anns, ann)
+					set.bind(ann, pos.Line)
+					set.bind(ann, pos.Line+1)
+					// Bind through the rest of a contiguous comment block:
+					// the annotation still covers the first code line after
+					// the block even when ordinary comments follow it.
+					if groupEnd+1 > pos.Line+1 {
+						set.bind(ann, groupEnd+1)
+					}
 				}
-				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
-				if len(fields) == 0 {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				lines := set[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					set[pos.Filename] = lines
-				}
-				names := lines[pos.Line]
-				if names == nil {
-					names = make(map[string]bool)
-					lines[pos.Line] = names
-				}
-				// Only the first field is the analyzer name; the rest is
-				// a free-text reason.
-				names[fields[0]] = true
 			}
 		}
 	}
 	return set
 }
 
+func (a *allowSet) bind(ann *allowAnn, line int) {
+	lines := a.byLine[ann.pos.Filename]
+	if lines == nil {
+		lines = make(map[int][]*allowAnn)
+		a.byLine[ann.pos.Filename] = lines
+	}
+	lines[line] = append(lines[line], ann)
+}
+
 // All returns every analyzer in the suite, sorted by name.
 func All() []*Analyzer {
 	return []*Analyzer{
+		DeterTaint,
+		ErrFlow,
 		FloatEq,
+		GoLeak,
+		HotPathAlloc,
 		MutexSpan,
 		NoDeterm,
 		RNGDiscipline,
 		SortedEmit,
+		UnusedAllow,
 	}
 }
 
@@ -205,6 +369,16 @@ func ByName(names []string) ([]*Analyzer, error) {
 		out = append(out, az)
 	}
 	return out, nil
+}
+
+// UnusedAllow reports //harmony:allow annotations that no longer
+// suppress any finding of the analyzers being run, so suppressions
+// cannot rot silently after the code they excused is fixed or deleted.
+// It consumes the other analyzers' suppression bookkeeping, runs last,
+// and only considers annotations naming an analyzer in the current run.
+var UnusedAllow = &Analyzer{
+	Name: "unusedallow",
+	Doc:  "report //harmony:allow annotations that no longer suppress any finding",
 }
 
 // pkgPathOf resolves the import path behind a selector base, or "" when

@@ -51,9 +51,15 @@ type Loader struct {
 	fset *token.FileSet
 
 	mu      sync.Mutex
-	exports map[string]string // import path -> export data file
+	exports map[string]string         // import path -> export data file
+	src     map[string]*types.Package // source-checked fixture packages
 	imp     types.Importer
 }
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
 // NewLoader returns a Loader rooted at the module containing dir (the
 // nearest parent with a go.mod).
@@ -66,8 +72,20 @@ func NewLoader(dir string) (*Loader, error) {
 		root:    root,
 		fset:    token.NewFileSet(),
 		exports: make(map[string]string),
+		src:     make(map[string]*types.Package),
 	}
-	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup)
+	gc := importer.ForCompiler(l.fset, "gc", l.lookup)
+	// Source-checked fixture packages shadow export data, so fixture
+	// trees can import their own sub-packages (see LoadFixtureTree).
+	l.imp = importerFunc(func(path string) (*types.Package, error) {
+		l.mu.Lock()
+		p := l.src[path]
+		l.mu.Unlock()
+		if p != nil {
+			return p, nil
+		}
+		return gc.Import(path)
+	})
 	return l, nil
 }
 
@@ -178,6 +196,16 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Register the source-checked package so later packages in this
+		// load import it directly instead of through export data. go list
+		// -deps emits dependency order, so by the time an importer is
+		// checked its module-internal imports are already registered —
+		// giving one *types.Func identity per function module-wide, which
+		// the call graph's byObj lookup depends on for cross-package
+		// static dispatch.
+		l.mu.Lock()
+		l.src[p.ImportPath] = pkg.Types
+		l.mu.Unlock()
 		out = append(out, pkg)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
@@ -188,6 +216,47 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 // single package, resolving imports the same way Load does. It exists for
 // fixture packages under testdata, which `go list ./...` skips.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
+	return l.loadDirAs("fixture/"+filepath.Base(dir), dir)
+}
+
+// LoadFixtureTree loads dir and every subdirectory beneath it as fixture
+// packages, depth-first so a parent fixture can import its own
+// sub-packages by their fixture path (e.g. fixture/detertaint/impure).
+// The root package comes first in the result.
+func (l *Loader) LoadFixtureTree(dir string) ([]*Package, error) {
+	root := "fixture/" + filepath.Base(dir)
+	var pkgs []*Package
+	var sub func(path, dir string) error
+	sub = func(path, dir string) error {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				if err := sub(path+"/"+e.Name(), filepath.Join(dir, e.Name())); err != nil {
+					return err
+				}
+			}
+		}
+		pkg, err := l.loadDirAs(path, dir)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+		return nil
+	}
+	if err := sub(root, dir); err != nil {
+		return nil, err
+	}
+	// Root package first, sub-packages after, both deterministic.
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// loadDirAs loads the .go files directly inside dir as one package under
+// the given import path and registers it for import by later fixtures.
+func (l *Loader) loadDirAs(path, dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -201,7 +270,14 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no .go files in %s", dir)
 	}
-	return l.check("fixture/"+filepath.Base(dir), dir, files)
+	pkg, err := l.check(path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.src[path] = pkg.Types
+	l.mu.Unlock()
+	return pkg, nil
 }
 
 // check parses files and type-checks them as one package.
@@ -221,6 +297,9 @@ func (l *Loader) check(path, dir string, files []string) (*Package, error) {
 	for _, af := range asts {
 		for _, imp := range af.Imports {
 			p := strings.Trim(imp.Path.Value, `"`)
+			if _, srcOK := l.src[p]; srcOK {
+				continue // fixture sub-package, checked from source
+			}
 			if _, ok := l.exports[p]; !ok && p != "unsafe" {
 				missing = append(missing, p)
 			}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoaderEdgeCases pins the loader's handling of the go-list corners:
+// test-only packages and packages whose every file is excluded by build
+// tags are skipped (not errors), and test files — in-package and
+// external `_test` packages alike — and tag-excluded files never reach
+// the type checker. The fixture module lives under testdata/loadermod
+// with its own go.mod, so `./...` resolves against it alone.
+func TestLoaderEdgeCases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	l, err := NewLoader(filepath.Join("testdata", "loadermod"))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	if len(pkgs) != 1 {
+		var paths []string
+		for _, p := range pkgs {
+			paths = append(paths, p.Path)
+		}
+		t.Fatalf("loaded %v, want exactly loadermod/normal (testonly and tagged must be skipped)", paths)
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "loadermod/normal" {
+		t.Fatalf("loaded %s, want loadermod/normal", pkg.Path)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loadermod/normal has %d files, want 1", len(pkg.Files))
+	}
+	name := filepath.Base(pkg.Fset.Position(pkg.Files[0].Pos()).Filename)
+	if name != "normal.go" {
+		t.Errorf("loaded file %s, want normal.go (test and tag-excluded files must stay out)", name)
+	}
+	// The excluded file's broken body must never have been type-checked.
+	if pkg.Types.Scope().Lookup("Broken") != nil {
+		t.Error("tag-excluded declaration leaked into the type-checked package")
+	}
+	if pkg.Types.Scope().Lookup("Double") == nil {
+		t.Error("production declaration missing from the type-checked package")
+	}
+}
+
+// TestLoaderCrossPackageIdentity pins the load-order guarantee the call
+// graph depends on: under the production loader, a call into another
+// module package must resolve to the same *types.Func the callee's own
+// source-checked AST defines, yielding an exact static edge. (Checking
+// importers against gc export data instead would mint a second object
+// identity per function and silently demote every cross-package call to
+// an external-call record — which is exactly the regression this guards
+// against.)
+func TestLoaderCrossPackageIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	l, err := NewLoader(filepath.Join("testdata", "graphmod"))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	g := BuildGraph(pkgs)
+	use := nodeByName(t, g, "a.Use")
+	es := edgesTo(use, "b.Helper")
+	if len(es) != 1 {
+		t.Fatalf("a.Use -> b.Helper: got %d edges, want 1 exact static edge", len(es))
+	}
+	if e := es[0]; e.Dynamic || e.Kind != EdgeCall {
+		t.Errorf("a.Use -> b.Helper: dynamic=%v kind=%v, want static call", e.Dynamic, e.Kind)
+	}
+	// The stdlib leaf stays an external-call record on the callee.
+	helper := nodeByName(t, g, "b.Helper")
+	found := false
+	for _, ext := range helper.Ext {
+		if ext.Fn.Pkg() != nil && ext.Fn.Pkg().Path() == "time" && ext.Fn.Name() == "Now" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("b.Helper should record time.Now as an external call")
+	}
+}

@@ -17,6 +17,9 @@ var deterministicPkgs = map[string]bool{
 	"harmony/internal/core":     true,
 	"harmony/internal/queueing": true,
 	"harmony/internal/binpack":  true,
+	"harmony/internal/kmeans":   true,
+	"harmony/internal/forecast": true,
+	"harmony/internal/classify": true,
 	"harmony/internal/daemon":   true,
 	"harmony/cmd/harmonyd":      true,
 }
@@ -55,7 +58,7 @@ var rngConstructors = map[string]bool{
 var NoDeterm = &Analyzer{
 	Name: "nodeterm",
 	Doc: "forbid time.Now, os.Getenv, and global math/rand use in deterministic packages " +
-		"(sim, sched, core, queueing, binpack, daemon, harmonyd)",
+		"(sim, sched, core, queueing, binpack, kmeans, forecast, classify, daemon, harmonyd)",
 	Packages: func(pkgPath string) bool { return deterministicPkgs[pkgPath] },
 	Run:      runNoDeterm,
 }

@@ -1,0 +1,8 @@
+// Package a imports b across a package boundary, so the call graph must
+// resolve Use → b.Helper as an exact static edge under the production
+// loader (not just the source-registered fixture loader).
+package a
+
+import "graphmod/b"
+
+func Use() int64 { return b.Helper() }

@@ -1,0 +1,6 @@
+// Package b is the callee side of the cross-package dispatch fixture.
+package b
+
+import "time"
+
+func Helper() int64 { return time.Now().Unix() }

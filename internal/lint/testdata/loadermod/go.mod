@@ -1,0 +1,3 @@
+module loadermod
+
+go 1.22

@@ -1,0 +1,7 @@
+//go:build loadermod_never
+
+// This file is excluded by its build tag in every real build; the
+// loader must not parse or type-check it (it would not compile).
+package normal
+
+func Broken() { undefinedSymbol() }

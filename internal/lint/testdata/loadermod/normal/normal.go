@@ -1,0 +1,7 @@
+// Package normal is the ordinary-package case of the loader edge-case
+// tests: one buildable file, plus test files and a build-tag-excluded
+// file that must all stay out of the loaded package.
+package normal
+
+// Double is production code; the loader must see this file.
+func Double(x int) int { return 2 * x }

@@ -1,0 +1,15 @@
+// External test package: compiled as normal_test, never part of the
+// production package the loader returns.
+package normal_test
+
+import (
+	"testing"
+
+	"loadermod/normal"
+)
+
+func TestDoubleExternal(t *testing.T) {
+	if normal.Double(3) != 6 {
+		t.Fatal("wrong")
+	}
+}

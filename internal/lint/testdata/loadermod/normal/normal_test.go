@@ -1,0 +1,9 @@
+package normal
+
+import "testing"
+
+func TestDouble(t *testing.T) {
+	if Double(2) != 4 {
+		t.Fatal("wrong")
+	}
+}

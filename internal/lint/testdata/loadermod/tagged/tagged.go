@@ -1,0 +1,7 @@
+//go:build loadermod_never
+
+// Package tagged has every file excluded by build tags: the loader must
+// treat it like a package with nothing to check, not an error.
+package tagged
+
+func Unreachable() {}

@@ -1,0 +1,7 @@
+// Package testonly has no production files at all: go list reports it
+// with an empty GoFiles, and the loader must skip it rather than fail.
+package testonly
+
+import "testing"
+
+func TestNothing(t *testing.T) {}

@@ -1,0 +1,54 @@
+// Package callgraph is the fixture for the call-graph builder unit
+// tests: one example of each resolution rule (static dispatch, interface
+// dispatch, method values, function values, closures, go/defer edges,
+// and the hotpath/coldpath markers).
+package callgraph
+
+type Animal interface{ Sound() string }
+
+type Dog struct{}
+
+func (Dog) Sound() string { return "woof" }
+
+type Cat struct{}
+
+func (c *Cat) Sound() string { return "meow" }
+
+// Speak dispatches through the interface: conservatively an edge to
+// every implementing concrete method.
+func Speak(a Animal) string { return a.Sound() }
+
+// Direct is exact static dispatch.
+func Direct() string { return helper() }
+
+func helper() string { return "h" }
+
+// Spawn produces go and defer edges to the same callee.
+func Spawn() {
+	go helper()
+	defer helper()
+}
+
+// MethodValue takes d.Sound's value, making Dog.Sound a candidate for
+// function-value dispatch.
+func MethodValue(d Dog) func() string {
+	f := d.Sound
+	return f
+}
+
+// CallValue calls through a function value: resolved by signature to the
+// value-taken candidates.
+func CallValue(f func() string) string { return f() }
+
+// Closure defines (but does not invoke) a literal: a dynamic edge from
+// the definer.
+func Closure() func() int {
+	x := 1
+	return func() int { return x }
+}
+
+//harmony:hotpath
+func Hot() {}
+
+//harmony:coldpath budgeted fallback
+func Cold() {}

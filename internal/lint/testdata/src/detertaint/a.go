@@ -1,0 +1,52 @@
+// Package detertaint is treated as a deterministic package by the
+// analyzer (see detertaintDeterministic), standing in for sim/sched/core.
+package detertaint
+
+import (
+	"fixture/detertaint/impure"
+	"fixture/detertaint/pure"
+)
+
+// Source is dispatched conservatively: every implementing concrete
+// method in the loaded packages is a possible callee.
+type Source interface{ Value() float64 }
+
+func UsesWallClock() float64 {
+	return impure.Stamp() // want `call of impure.Stamp transitively reads time.Now \(wall clock\): detertaint.UsesWallClock → impure.Stamp → time.Now \(wall clock\)`
+}
+
+func UsesDeep() float64 {
+	return impure.Deep() // want `detertaint.UsesDeep → impure.Deep → impure.helper → impure.Stamp → time.Now \(wall clock\)`
+}
+
+func UsesEnv() string {
+	return impure.Env() // want `transitively reads os.Getenv \(process environment\)`
+}
+
+func UsesGlobalRNG() float64 {
+	return impure.Roll() // want `transitively reads rand.Float64 \(process-global RNG\)`
+}
+
+func SpawnsImpure() {
+	go impure.Deep() // want `go of impure.Deep transitively reads time.Now`
+}
+
+func UseSource(s Source) float64 {
+	return s.Value() // want `call of impure.Ticker.Value \(via interface dispatch\) transitively reads time.Now`
+}
+
+// Clean call chains produce no findings.
+func Clean() int { return pure.Add(1, 2) }
+
+func CleanIfaceValue(c pure.Const) float64 { return c.Value() }
+
+func CleanHelper(x float64) float64 { return impure.Pure(x) }
+
+// A vouched-for root (annotation at the source) clears every caller.
+func UsesVetted() float64 { return impure.Vetted() }
+
+// A boundary call can also be excused in place.
+func AllowedCaller() float64 {
+	//harmony:allow detertaint fixture: vetted boundary
+	return impure.Stamp()
+}

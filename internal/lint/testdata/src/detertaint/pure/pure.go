@@ -1,0 +1,11 @@
+// Package pure is the detertaint fixture's clean helper: nothing here
+// reads a nondeterministic input.
+package pure
+
+// Add is a pure function.
+func Add(a, b int) int { return a + b }
+
+// Const implements the fixture's Source interface deterministically.
+type Const struct{ V float64 }
+
+func (c Const) Value() float64 { return c.V }

@@ -1,0 +1,72 @@
+// Package errflow exercises the discarded-error analyzer: bare calls and
+// blank assignments that drop an error are flagged; fmt printing,
+// Buffer/Builder methods, deferred cleanup, and annotated discards pass.
+package errflow
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func value() (int, error) { return 0, errors.New("boom") }
+
+func Bare() {
+	mayFail() // want `error result of errflow.mayFail is discarded`
+}
+
+func Blank() {
+	_ = mayFail() // want `error discarded into _`
+}
+
+func Tuple() {
+	v, _ := value() // want `error discarded into _`
+	_ = v
+}
+
+func Wrapped() {
+	_ = fmt.Errorf("wrap: %v", 1) // want `error discarded into _`
+}
+
+func Spawned() {
+	go mayFail() // want `error result of errflow.mayFail is discarded by the go statement`
+}
+
+// Checked handles both results; nothing to flag.
+func Checked() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	v, err := value()
+	_ = v // int, not an error: blank is fine
+	return err
+}
+
+// Printing exercises the exemptions: best-effort human output and
+// methods documented to never fail.
+func Printing(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("status")
+	fmt.Fprintf(buf, "x=%d", 1)
+	buf.WriteString("a")
+	sb.WriteString("b")
+	_, _ = sb.WriteString("c")
+}
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+// Deferred cleanup is best-effort by convention.
+func Deferred(c closer) {
+	defer c.Close()
+}
+
+// Vetted documents its discard in place.
+func Vetted() {
+	//harmony:allow errflow fixture: best-effort telemetry write
+	mayFail()
+	_ = mayFail() //harmony:allow errflow fixture: end-of-line form
+}

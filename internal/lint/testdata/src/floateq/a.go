@@ -46,3 +46,13 @@ func annotated(a, b float64) bool {
 	//harmony:allow floateq bit-identical replay equivalence check
 	return a == b
 }
+
+// blockAnnotated exercises annotation binding through a contiguous
+// comment block: ordinary comments between the annotation and the code
+// it excuses must not break the binding.
+func blockAnnotated(a, b float64) bool {
+	//harmony:allow floateq bit-identical replay equivalence check
+	// Both sides decode from the same checkpoint, so exact equality is
+	// the property under test, not an approximation of it.
+	return a == b
+}

@@ -1,0 +1,73 @@
+// Package goleak exercises the goroutine-join analyzer: every go
+// statement needs a provable termination/join path reachable in the
+// spawned function.
+package goleak
+
+import "sync"
+
+func work() {}
+
+// Leaky spawns a goroutine with no join signal at all.
+func Leaky() {
+	go func() { // want `goroutine goleak.Leaky.func1 has no provable join`
+		work()
+	}()
+}
+
+// LeakyNamed spawns a named function with no join signal.
+func LeakyNamed() {
+	go work() // want `goroutine goleak.work has no provable join`
+}
+
+// Joined is the WaitGroup Add/Done pairing.
+func Joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Collector is the errgroup shape: the result lands on a channel the
+// spawner drains.
+func Collector() int {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+// Cancelled selects on a cancellation channel.
+func Cancelled(stop <-chan struct{}) {
+	go func() {
+		select {
+		case <-stop:
+		}
+	}()
+}
+
+// TransitiveJoin reaches its Done through a helper.
+func TransitiveJoin(wg *sync.WaitGroup) {
+	go joinViaHelper(wg)
+}
+
+func joinViaHelper(wg *sync.WaitGroup) { wg.Done() }
+
+// DynamicSpawn cannot be proven: the spawned function is a bare value.
+func DynamicSpawn(f func()) {
+	go f() // want `spawned through a function value`
+}
+
+// NestedGo: the inner goroutine's join says nothing about the outer one.
+func NestedGo(wg *sync.WaitGroup) {
+	go func() { // want `goroutine goleak.NestedGo.func1 has no provable join`
+		go func() {
+			wg.Done()
+		}()
+	}()
+}
+
+// Allowed documents a deliberate fire-and-forget.
+func Allowed() {
+	//harmony:allow goleak fixture: fire-and-forget by design
+	go work()
+}

@@ -1,0 +1,79 @@
+// Package hotpathalloc exercises the transitive no-allocation check:
+// a //harmony:hotpath root and everything it calls must not allocate,
+// with //harmony:coldpath boundaries and //harmony:allow escapes.
+package hotpathalloc
+
+import "fmt"
+
+// State is the scratch the hot path is supposed to reuse.
+type State struct {
+	buf     []float64
+	scratch []float64
+	n       int
+}
+
+//harmony:hotpath
+func Tick(s *State, name string) float64 {
+	s.buf = append(s.buf, 1) // amortized reuse: result feeds its operand
+	tmp := append(s.buf, 2)  // want `copy-grow append \(result does not feed back into its operand\) allocates on the hot path hotpathalloc.Tick \(path: hotpathalloc.Tick\)`
+	_ = tmp
+	m := make([]float64, 4) // want `make allocates on the hot path hotpathalloc.Tick`
+	_ = m
+	p := new(State) // want `new allocates on the hot path`
+	_ = p
+	q := &State{n: 1} // want `&composite literal \(escapes to the heap\)`
+	_ = q
+	mp := map[string]int{"a": 1} // want `map literal allocates`
+	_ = mp
+	sl := []int{1, 2} // want `slice literal allocates`
+	_ = sl
+	bs := []byte(name) // want `\[\]byte\(string\) conversion \(copies\)`
+	_ = bs
+	_ = fmt.Sprintf("%d", s.n) // want `fmt.Sprintf allocates`
+	x := s.n
+	f := func() int { return x } // want `closure capturing x`
+	_ = f
+	go drain(s) // want `go statement \(the goroutine itself\)`
+	refit(s)    // clean: refit is a coldpath boundary
+	_ = label(name, "-suffix")
+	return step(s)
+}
+
+// step is on the hot path transitively; its one allocation is excused in
+// place.
+func step(s *State) float64 {
+	w := make([]float64, 1) //harmony:allow hotpathalloc fixture: warm-up fill, measured at zero steady-state
+	s.scratch = s.scratch[:0]
+	s.scratch = append(s.scratch, w...)
+	return s.scratch[0]
+}
+
+// label allocates two hops from the root; the diagnostic carries the
+// witness chain.
+func label(a, b string) string {
+	return a + b // want `string concatenation allocates on the hot path hotpathalloc.Tick \(path: hotpathalloc.Tick → hotpathalloc.label\)`
+}
+
+// drain is spawned from the hot path and must itself be alloc-free.
+func drain(s *State) { s.n++ }
+
+// refit is the budgeted residue: the descent stops here.
+//
+//harmony:coldpath refit rebuilds the scratch; its cost is budgeted and measured dynamically
+func refit(s *State) {
+	s.buf = make([]float64, 0, 64)
+}
+
+// Setup is not reachable from any hot-path root; it may allocate freely.
+func Setup() *State {
+	return &State{buf: make([]float64, 0, 64)}
+}
+
+// valueOnly holds a struct value literal: no heap allocation, clean even
+// on the hot path.
+//
+//harmony:hotpath
+func valueOnly() int {
+	st := State{n: 3}
+	return st.n
+}

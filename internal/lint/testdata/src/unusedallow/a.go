@@ -1,0 +1,23 @@
+// Package unusedallow exercises stale-annotation detection. The fixture
+// co-runs floateq: one allow suppresses a real finding (used), one
+// suppresses nothing (stale, flagged), and one names an analyzer outside
+// the run set (not judged).
+package unusedallow
+
+// Eq carries a load-bearing allow: deleting it would surface a floateq
+// finding, so the annotation is used and not reported.
+func Eq(a, b float64) bool {
+	//harmony:allow floateq fixture: bitwise replay equivalence
+	return a == b
+}
+
+// Clean compares ints, so the annotation below excuses nothing.
+//
+//harmony:allow floateq fixture: stale leftover // want `//harmony:allow floateq suppresses nothing; delete the stale annotation`
+func Clean(a, b int) bool { return a == b }
+
+// Untested names an analyzer that is not part of this run; staleness
+// cannot be judged, so it is not reported.
+//
+//harmony:allow nodeterm fixture: outside the run set
+func Untested() int { return 42 }

@@ -519,9 +519,10 @@ func (sv *sparseSolver) pivot(row, col int) {
 // resynchronizes the basic values from the original right-hand side.
 func (sv *sparseSolver) refactor() {
 	if sv.binv == nil {
+		//harmony:allow hotpathalloc one-time lazy init behind the nil check; reused across refactors
 		sv.binv = make([][]float64, sv.m)
 		for j := range sv.binv {
-			col := make([]float64, sv.m)
+			col := make([]float64, sv.m) //harmony:allow hotpathalloc one-time lazy init behind the nil check; reused across refactors
 			col[j] = 1
 			sv.binv[j] = col
 		}
@@ -555,6 +556,8 @@ var (
 
 // runBudget is the simplex loop with explicit iteration budgets; tests
 // use it to force Bland's rule from the first pivot.
+//
+//harmony:hotpath
 func (sv *sparseSolver) runBudget(maxIter, blandAfter int) error {
 	for iter := 0; iter < maxIter; iter++ {
 		sv.computeDuals()
@@ -622,10 +625,12 @@ func (sv *sparseSolver) btranRow(r int) {
 // answer: the basis and xB updates are exact regardless of which
 // eligible pivot is chosen, and the primal cleanup that follows
 // re-prices from scratch — stale rc only risks a longer path.
+//
+//harmony:hotpath
 func (sv *sparseSolver) runDual() error {
 	maxIter := 500 * (sv.m + sv.n + 10)
-	rc := make([]float64, sv.n)
-	wrow := make([]float64, sv.n)
+	rc := make([]float64, sv.n)   //harmony:allow hotpathalloc per-solve pricing vector, not per-pivot
+	wrow := make([]float64, sv.n) //harmony:allow hotpathalloc per-solve pricing vector, not per-pivot
 	sv.computeDuals()
 	for j := 0; j < sv.n; j++ {
 		if sv.inB[j] || sv.artificial[j] {

@@ -418,6 +418,8 @@ func (h *Harmony) LastForecast() []float64 {
 
 // Period implements sim.Policy: record arrivals, forecast, size container
 // demand, and run one MPC step.
+//
+//harmony:hotpath
 func (h *Harmony) Period(obs *sim.Observation) sim.Directive {
 	// Record this period's arrival rates.
 	for n := range h.cfg.Types {
@@ -523,6 +525,8 @@ func (h *Harmony) Period(obs *sim.Observation) sim.Directive {
 // (the class's long fraction) of that rate, and the short sub-type is
 // additionally charged for the slots that soon-to-be-relabeled long tasks
 // pin for up to one control period.
+//
+//harmony:hotpath
 func (h *Harmony) containerDemand(obs *sim.Observation) ([][]float64, error) {
 	demand := h.demandBuf
 	for n, tt := range h.cfg.Types {
@@ -560,6 +564,7 @@ func (h *Harmony) containerDemand(obs *sim.Observation) ([][]float64, error) {
 			}
 			c, err := queueing.MinContainersHint(lambda, mu, tt.SqCV, slo, hint)
 			if err != nil {
+				//harmony:allow hotpathalloc error path, not the steady-state tick
 				return nil, fmt.Errorf("sched: containers for type %d: %w", n, err)
 			}
 			// Warm-start the next step (and, via solveHint, the next
@@ -601,6 +606,8 @@ func (h *Harmony) containerDemand(obs *sim.Observation) ([][]float64, error) {
 // filling dst in place. Before MinHistory periods accumulate it uses EWMA
 // over whatever exists; after that it fits the configured ARIMA model,
 // falling back to EWMA when the fit degenerates.
+//
+//harmony:coldpath the predictor's fit and forecast are the budgeted residue TestPeriodScratchReuse measures
 func (h *Harmony) forecastRates(n int, dst []float64) error {
 	hist := h.history[n]
 	w := len(dst)
