@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+func TestScratchValueTakenOverApprox(t *testing.T) {
+	pkgs, err := sharedLoader(t).LoadFixtureTree(filepath.Join("testdata", "src", "callgraph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &builder{
+		g: &Graph{
+			byObj: make(map[*types.Func]*Node),
+			byLit: make(map[*ast.FuncLit]*Node),
+			fset:  pkgs[0].Fset,
+		},
+		pkgs:       pkgs,
+		valueTaken: make(map[*types.Func]bool),
+		implCache:  make(map[implKey][]*types.Func),
+		reach:      make(map[string]map[string]bool),
+	}
+	b.collectNamedTypes()
+	b.collectNodes()
+	for _, node := range b.g.Funcs {
+		b.collectValueTaken(node)
+	}
+	for fn := range b.valueTaken {
+		t.Logf("value-taken: %s", prettyFuncName(fn))
+	}
+}
