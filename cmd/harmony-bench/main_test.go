@@ -138,7 +138,7 @@ func TestBenchJSONRoundtrip(t *testing.T) {
 	if err := run([]string{"-benchjson", path, "-bench-ms", "1"}, &b); err != nil {
 		t.Fatalf("benchjson: %v\n%s", err, b.String())
 	}
-	for _, op := range []string{"relax-cold-mpc", "relax-warm-mpc", "placement", "harmony-period-tick"} {
+	for _, op := range []string{"relax-cold-mpc", "relax-warm-mpc", "placement", "placement-delta", "harmony-period-tick"} {
 		if !strings.Contains(b.String(), op) {
 			t.Errorf("capture output missing op %q:\n%s", op, b.String())
 		}

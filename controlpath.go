@@ -2,6 +2,7 @@ package harmony
 
 import (
 	"fmt"
+	"math"
 
 	"harmony/internal/classify"
 	"harmony/internal/core"
@@ -29,7 +30,7 @@ type ControlPathOp struct {
 // validate a recorded baseline against the current op set can use it
 // without paying for LP solves.
 func ControlPathOpNames() []string {
-	return []string{"relax-cold-mpc", "relax-warm-mpc", "placement", "harmony-period-tick"}
+	return []string{"relax-cold-mpc", "relax-warm-mpc", "placement", "placement-delta", "harmony-period-tick"}
 }
 
 // ControlPathOps builds the control-path micro-benchmarks behind
@@ -40,7 +41,10 @@ func ControlPathOpNames() []string {
 //   - relax-warm-mpc: the same period seeded from the previous period's
 //     optimal basis — the cost every period after the first actually pays.
 //   - placement: the parallel per-type First-Fit rounding pass against a
-//     fixed fractional plan (12 machine types).
+//     fixed fractional plan (12 machine types), repacking from scratch.
+//   - placement-delta: the incremental rounding pass on a steady-state
+//     low-churn period (20 machine types, one of which — 5% — changes
+//     per period), diffed against the previous period's decision.
 //   - harmony-period-tick: a full scheduler tick — record arrivals,
 //     forecast, M/G/c sizing, warm CBS-RELAX solve, and placement.
 func ControlPathOps() ([]ControlPathOp, error) {
@@ -62,6 +66,11 @@ func ControlPathOps() ([]ControlPathOp, error) {
 	placeCtrl := &core.Controller{
 		Machines: placeIn.Machines, Containers: placeIn.Containers,
 		PeriodSeconds: placeIn.PeriodSeconds, Horizon: placeIn.Horizon, Mode: core.CBS,
+	}
+
+	deltaCtrl, deltaPlans, deltaDecs, err := deltaScenario(stats.NewRNG(7))
+	if err != nil {
+		return nil, fmt.Errorf("placement-delta scenario: %w", err)
 	}
 
 	policy, obs, err := tickScenario()
@@ -94,6 +103,17 @@ func ControlPathOps() ([]ControlPathOp, error) {
 			}
 			return nil
 		}},
+		{Name: "placement-delta", Run: func(iters int) error {
+			// Alternate between the two periods so every realization
+			// sees the steady-state churn: one machine type in twenty
+			// changed since the decision it is diffed against.
+			for i := 0; i < iters; i++ {
+				if _, err := deltaCtrl.RealizeDelta(deltaDecs[i%2], deltaPlans[1-i%2]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
 		{Name: "harmony-period-tick", Run: func(iters int) error {
 			for i := 0; i < iters; i++ {
 				if dir := policy.Period(obs); dir.TargetActive == nil {
@@ -103,6 +123,69 @@ func ControlPathOps() ([]ControlPathOp, error) {
 			return nil
 		}},
 	}, nil
+}
+
+// deltaScenario builds the steady-state low-churn placement pair behind
+// the placement-delta op: a 20-machine-type fractional plan and a second
+// period in which exactly one type — 5% of the fleet — changed, plus the
+// cold decisions of both periods so every delta realization diffs
+// against the other period's decision.
+func deltaScenario(r *stats.RNG) (*core.Controller, [2]*core.Plan, [2]*core.Decision, error) {
+	var plans [2]*core.Plan
+	var decs [2]*core.Decision
+	in := controlPathInput(r, 20, 8, 2)
+	planA, err := core.SolveRelaxed(in)
+	if err != nil {
+		return nil, plans, decs, err
+	}
+	ctrl := &core.Controller{
+		Machines: in.Machines, Containers: in.Containers,
+		PeriodSeconds: in.PeriodSeconds, Horizon: in.Horizon, Mode: core.CBS,
+	}
+	planB := churnOnePlacementType(in, planA)
+	decA, err := ctrl.Realize(planA)
+	if err != nil {
+		return nil, plans, decs, err
+	}
+	decB, err := ctrl.Realize(planB)
+	if err != nil {
+		return nil, plans, decs, err
+	}
+	plans = [2]*core.Plan{planA, planB}
+	decs = [2]*core.Decision{decA, decB}
+	return ctrl, plans, decs, nil
+}
+
+// churnOnePlacementType returns a copy of plan with the busiest machine
+// type's period-0 allocation halved — the shape of a low-churn MPC drift
+// where one type's demand moved and every other type's placement
+// projection is unchanged. Only the churned rows are copied; placement
+// treats the plan as read-only.
+func churnOnePlacementType(in *core.PlanInput, plan *core.Plan) *core.Plan {
+	busiest, most := 0, -1.0
+	for m := range in.Machines {
+		total := 0.0
+		for n := range in.Containers {
+			total += math.Floor(plan.Alloc[m][n][0] + 1e-9)
+		}
+		if total > most {
+			busiest, most = m, total
+		}
+	}
+	out := &core.Plan{
+		Active:    plan.Active,
+		Alloc:     append([][][]float64(nil), plan.Alloc...),
+		Scheduled: plan.Scheduled,
+		Objective: plan.Objective,
+	}
+	row := make([][]float64, len(plan.Alloc[busiest]))
+	for n, col := range plan.Alloc[busiest] {
+		nc := append([]float64(nil), col...)
+		nc[0] *= 0.5
+		row[n] = nc
+	}
+	out.Alloc[busiest] = row
+	return out
 }
 
 // mpcPair returns two consecutive MPC periods of a fixed mid-size

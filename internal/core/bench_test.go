@@ -177,3 +177,63 @@ func BenchmarkRoundCBS(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRoundCBSFull is BenchmarkRoundCBS at the delta scenario's
+// size (20 machine types), the full-repack cost the delta path saves.
+func BenchmarkRoundCBSFull(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	in := randomSized(r, 20, 8, 2)
+	plan, err := SolveRelaxed(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl := &Controller{
+		Machines: in.Machines, Containers: in.Containers,
+		PeriodSeconds: in.PeriodSeconds, Horizon: in.Horizon, Mode: CBS,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctrl.Realize(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundCBSDelta measures the steady-state low-churn delta
+// placement: 20 machine types of which one (5%) changes per period, each
+// realization diffed against the previous period's decision.
+func BenchmarkRoundCBSDelta(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	in := randomSized(r, 20, 8, 2)
+	planA, err := SolveRelaxed(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl := &Controller{
+		Machines: in.Machines, Containers: in.Containers,
+		PeriodSeconds: in.PeriodSeconds, Horizon: in.Horizon, Mode: CBS,
+	}
+	planB := churnBusiestType(ctrl, planA)
+	decA, err := ctrl.Realize(planA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	decB, err := ctrl.Realize(planB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if i%2 == 0 {
+			_, err = ctrl.RealizeDelta(decA, planB)
+		} else {
+			_, err = ctrl.RealizeDelta(decB, planA)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

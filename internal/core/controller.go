@@ -52,6 +52,15 @@ type Controller struct {
 	// problem and silently falls back to a cold solve if the catalog or
 	// horizon changed, so a stale basis can never change the answer.
 	basis *lp.Basis
+	// lastCBS is the previous Step's CBS decision, the packing-layer
+	// mirror of basis: RealizeDelta diffs the new plan against it and
+	// repacks only the machine types whose projection changed, falling
+	// back to a full repack on any anomaly, so a stale decision can
+	// never change the answer either.
+	lastCBS *Decision
+	// deltaStats counts how the delta placement path resolved its work
+	// (reused vs repacked types, full-repack fallbacks).
+	deltaStats DeltaStats
 }
 
 // Decision is the integer realization of one control period.
@@ -105,13 +114,22 @@ func (c *Controller) Step(initialActive []float64, demand [][]float64, price []f
 	if path := os.Getenv("HARMONY_DUMP_PLAN"); path != "" {
 		dumpPlanInput(in, path)
 	}
-	return c.Realize(plan)
+	dec, err := c.RealizeDelta(c.lastCBS, plan)
+	if err != nil {
+		return nil, err
+	}
+	if c.Mode == CBS {
+		c.lastCBS = dec
+	}
+	return dec, nil
 }
 
 // Realize rounds period 0 of a fractional plan to an integer decision
-// according to the controller's mode. Step calls it after each solve; it
-// is exported so the placement pass can be exercised (and benchmarked)
-// against a fixed plan without re-running the LP.
+// according to the controller's mode, always repacking from scratch. It
+// is exported so the full placement pass can be exercised (and
+// benchmarked) against a fixed plan without re-running the LP; Step uses
+// RealizeDelta, which reuses unchanged machine types' packings from the
+// previous decision and is bit-identical to this full pass.
 func (c *Controller) Realize(plan *Plan) (*Decision, error) {
 	switch c.Mode {
 	case CBP:
@@ -119,8 +137,14 @@ func (c *Controller) Realize(plan *Plan) (*Decision, error) {
 	case CBS:
 		return c.roundCBS(plan)
 	default:
-		return nil, fmt.Errorf("core: unknown mode %d", int(c.Mode))
+		return nil, errUnknownMode(c.Mode)
 	}
+}
+
+// errUnknownMode is the shared rejection for modes Realize/RealizeDelta
+// do not know.
+func errUnknownMode(m Mode) error {
+	return fmt.Errorf("core: unknown mode %d", int(m))
 }
 
 // dumpPlanInput writes the LP input as JSON for offline debugging; it is

@@ -23,37 +23,96 @@ type typePacking struct {
 	err      error
 }
 
+// packTypeShift is how many bits of a binpack item ID hold the per-type
+// item counter; the low bits hold the container type. The counter side is
+// effectively unbounded (47 spare bits on 64-bit platforms), but the
+// container-type side caps the catalog size.
+const packTypeShift = 16
+
+// maxPackContainerTypes is the largest container catalog the id<<shift|n
+// item encoding can represent. Beyond it the decode (ID & mask) would
+// silently fold high type indices onto low ones and mis-merge counts, so
+// packType refuses such catalogs with an explicit error instead.
+const maxPackContainerTypes = 1 << packTypeShift
+
+// packBudget is the integer machine budget First-Fit may use for machine
+// type m in period 0: ⌈z*⌉ plus Lemma 1's one-machine allowance, capped
+// at the machines that exist. The delta path diffs consecutive plans on
+// this same integerized value, so budget drift is always detected.
+//
+//harmony:hotpath
+func (c *Controller) packBudget(plan *Plan, m int) int {
+	zStar := plan.Active[m][0]
+	budget := int(math.Ceil(zStar - 1e-9))
+	if zStar > 1e-9 {
+		budget++ // Lemma 1's z*+1 allowance
+	}
+	if budget > c.Machines[m].Available {
+		budget = c.Machines[m].Available
+	}
+	return budget
+}
+
+// itemCount is the integer number of type-n containers the plan allocates
+// to machine type m in period 0: floor of the fractional allocation (the
+// plan already respects capacity).
+//
+//harmony:hotpath
+func itemCount(plan *Plan, m, n int) int {
+	return int(math.Floor(plan.Alloc[m][n][0] + 1e-9))
+}
+
+// quotaCap is the per-type container cap the decision reports for machine
+// type m: the plan's ceiling (Algorithm 1 lets the scheduler keep placing
+// as long as the total stays within x^{mn}), not the packed counts, which
+// floor-rounding would understate.
+//
+//harmony:hotpath
+func quotaCap(plan *Plan, m, n int) int {
+	return int(math.Ceil(plan.Alloc[m][n][0] - 1e-9))
+}
+
 // packType rounds period 0 of the plan for machine type m with First-Fit
 // (Algorithm 1): at most ⌈z*⌉+1 machines are used, and by Lemma 1 at
 // least x*/(2|R|) containers of each type fit.
 func (c *Controller) packType(plan *Plan, m int) typePacking {
 	ms := c.Machines[m]
 	p := typePacking{quota: make([]int, len(c.Containers))}
-	zStar := plan.Active[m][0]
-	budget := int(math.Ceil(zStar - 1e-9))
-	if zStar > 1e-9 {
-		budget++ // Lemma 1's z*+1 allowance
+	if len(c.Containers) > maxPackContainerTypes {
+		p.err = fmt.Errorf("core: CBS rounding type %d: %d container types exceed the %d-type item-encoding limit",
+			ms.Type, len(c.Containers), maxPackContainerTypes)
+		return p
 	}
-	if budget > ms.Available {
-		budget = ms.Available
-	}
+	budget := c.packBudget(plan, m)
 	if budget == 0 {
+		// No machines to pack onto, but the plan may still have allocated
+		// containers here (e.g. a type whose Available hit zero): those
+		// containers vanish, so count every one of them as dropped, and
+		// report the plan's caps as quotas like the packed path does.
+		for n := range c.Containers {
+			if count := itemCount(plan, m, n); count > 0 {
+				if p.dropped == nil {
+					p.dropped = make([]int, len(c.Containers))
+				}
+				p.dropped[n] = count
+			}
+			p.quota[n] = quotaCap(plan, m, n)
+		}
 		return p
 	}
 
-	// Integer container counts for this machine type: floor of the
-	// fractional allocation (the plan already respects capacity).
+	// Integer container counts for this machine type.
 	var items []binpack.Item
 	id := 0
 	for n, cs := range c.Containers {
-		count := int(math.Floor(plan.Alloc[m][n][0] + 1e-9))
+		count := itemCount(plan, m, n)
 		om := cs.Omega
 		if om < 1 {
 			om = 1
 		}
 		for k := 0; k < count; k++ {
 			items = append(items, binpack.Item{
-				ID:      id<<16 | n,
+				ID:      id<<packTypeShift | n,
 				Demands: []float64{om * cs.CPU, om * cs.Mem},
 			})
 			id++
@@ -70,7 +129,7 @@ func (c *Controller) packType(plan *Plan, m int) typePacking {
 	for bi, bin := range bins {
 		pack := make(map[int]int)
 		for _, it := range bin.Items {
-			n := it.ID & 0xffff
+			n := it.ID & (maxPackContainerTypes - 1)
 			pack[n]++
 		}
 		p.packings[bi] = pack
@@ -78,54 +137,64 @@ func (c *Controller) packType(plan *Plan, m int) typePacking {
 	if len(unplaced) > 0 {
 		p.dropped = make([]int, len(c.Containers))
 		for _, it := range unplaced {
-			p.dropped[it.ID&0xffff]++
+			p.dropped[it.ID&(maxPackContainerTypes-1)]++
 		}
 	}
-	// Quotas are the plan's caps (Algorithm 1 lets the scheduler keep
-	// placing as long as the total stays within x^{mn}), not the packed
-	// counts, which floor-rounding would understate.
 	for n := range c.Containers {
-		p.quota[n] = int(math.Ceil(plan.Alloc[m][n][0] - 1e-9))
+		p.quota[n] = quotaCap(plan, m, n)
 	}
 	return p
 }
 
-// roundCBS realizes period 0 with First-Fit packing per machine type.
-// The per-type packings are independent, so they fan out across workers
-// with the same deterministic-reduce recipe as sim's sharded machine
-// audit: work is claimed from an atomic counter, each result lands in
-// its own pre-sized slot, and the merge walks slots in type order — the
-// decision is bit-identical to the serial pass at any GOMAXPROCS.
+// packInto packs the listed machine types into their slots of parts,
+// fanning the per-type packings out across workers with the same
+// deterministic-reduce recipe as sim's sharded machine audit: work is
+// claimed from an atomic counter, each result lands in its own pre-sized
+// slot, and the caller merges slots in type order — the decision is
+// bit-identical to the serial pass at any GOMAXPROCS.
+func (c *Controller) packInto(plan *Plan, types []int, parts []typePacking) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(types) {
+		workers = len(types)
+	}
+	if workers <= 1 {
+		for _, m := range types {
+			parts[m] = c.packType(plan, m)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(types) {
+					return
+				}
+				m := types[i]
+				parts[m] = c.packType(plan, m)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// roundCBS realizes period 0 with First-Fit packing per machine type,
+// repacking every type from scratch. The delta path (roundCBSDelta)
+// shortcuts this for types whose plan projection is unchanged; roundCBS
+// stays the reference (and the fallback) the delta must be bit-identical
+// to.
 func (c *Controller) roundCBS(plan *Plan) (*Decision, error) {
 	nm := len(c.Machines)
 	parts := make([]typePacking, nm)
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nm {
-		workers = nm
+	types := make([]int, nm)
+	for m := range types {
+		types[m] = m
 	}
-	if workers <= 1 {
-		for m := range parts {
-			parts[m] = c.packType(plan, m)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					m := int(next.Add(1)) - 1
-					if m >= nm {
-						return
-					}
-					parts[m] = c.packType(plan, m)
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	c.packInto(plan, types, parts)
 
 	d := &Decision{
 		ActiveMachines: make([]int, nm),

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"reflect"
 	"testing"
 
 	"harmony/internal/classify"
@@ -290,5 +291,36 @@ func TestHarmonyWarmStartsContainerSolver(t *testing.T) {
 	}
 	if warm >= cold {
 		t.Errorf("warm period spent %d MGcWait evaluations, cold period %d — hint not used", warm, cold)
+	}
+}
+
+// TestHarmonyPeriodDeltaPlacement pins the delta-placement threading
+// through the period tick: every decision the policy emits in steady
+// state is bit-identical to a stateless full repack of its own plan, and
+// after the first period the controller's delta path actually reuses
+// unchanged machine types instead of repacking the fleet.
+func TestHarmonyPeriodDeltaPlacement(t *testing.T) {
+	h, obs := steadyHarmony(t, core.CBS)
+	start := h.ctrl.DeltaStats()
+	for period := 0; period < 4; period++ {
+		if dir := h.Period(obs); dir.TargetActive == nil {
+			t.Fatalf("period %d: %v", period, h.Err())
+		}
+		obs.Time += h.cfg.PeriodSeconds
+		dec := h.LastDecision()
+		cold, err := h.ctrl.Realize(dec.Plan)
+		if err != nil {
+			t.Fatalf("period %d cold repack: %v", period, err)
+		}
+		if !reflect.DeepEqual(cold, dec) {
+			t.Fatalf("period %d: tick decision differs from full repack of its plan", period)
+		}
+	}
+	stats := h.ctrl.DeltaStats()
+	if stats.FullRepacks != start.FullRepacks {
+		t.Errorf("steady-state ticks fell back to %d full repacks", stats.FullRepacks-start.FullRepacks)
+	}
+	if stats.ReusedTypes == start.ReusedTypes {
+		t.Error("no machine type reused across four steady-state ticks")
 	}
 }
