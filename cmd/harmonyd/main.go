@@ -6,6 +6,12 @@
 // Prometheus-style metrics are served over HTTP. SIGINT/SIGTERM trigger
 // a graceful shutdown: the ingest queue is flushed, a final tick runs,
 // and the final plan is written to stdout.
+//
+// With -tenants pointing at a tenants config file the daemon runs in
+// multi-tenant mode: tasks route by their "tenant" field, SLO-compatible
+// tenants share provisioning groups, and every group runs its own
+// pipeline. A single-tenant config reproduces the default daemon's plans
+// bit-for-bit.
 package main
 
 import (
@@ -23,6 +29,8 @@ import (
 	"harmony/internal/core"
 	"harmony/internal/daemon"
 	"harmony/internal/energy"
+	"harmony/internal/sched"
+	"harmony/internal/tenant"
 	"harmony/internal/trace"
 )
 
@@ -47,9 +55,11 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		mode     = fs.String("mode", "CBS", "container mode: CBS (spread) or CBP (pack)")
 		period   = fs.Float64("period", 300, "control period in model-time seconds")
 		horizon  = fs.Int("horizon", 2, "MPC look-ahead periods")
-		tickWall = fs.Duration("tick-every", 0, "wall-clock interval between automatic ticks (0 = tick only via POST /v1/tick)")
-		deadline = fs.Duration("tick-deadline", 30*time.Second, "per-tick solve deadline")
-		queue    = fs.Int("queue", 65536, "ingest queue capacity (excess tasks get 429)")
+		tickWall    = fs.Duration("tick-every", 0, "wall-clock interval between automatic ticks (0 = tick only via POST /v1/tick)")
+		deadline    = fs.Duration("tick-deadline", 30*time.Second, "per-tick solve deadline")
+		queue       = fs.Int("queue", 65536, "ingest queue capacity (excess tasks get 429)")
+		tenantsPath = fs.String("tenants", "", "tenants config JSON; enables multi-tenant mode")
+		forecaster  = fs.String("forecaster", "arima", "arrival forecaster: arima, auto, seasonal, ewma, or holtwinters")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +75,21 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		coreMode = core.CBP
 	default:
 		return fmt.Errorf("unknown -mode %q (want CBS or CBP)", *mode)
+	}
+	var predictor sched.PredictorKind
+	switch *forecaster {
+	case "arima":
+		predictor = sched.PredictARIMA
+	case "auto":
+		predictor = sched.PredictAutoARIMA
+	case "seasonal":
+		predictor = sched.PredictSeasonal
+	case "ewma":
+		predictor = sched.PredictEWMA
+	case "holtwinters":
+		predictor = sched.PredictHoltWinters
+	default:
+		return fmt.Errorf("unknown -forecaster %q (want arima, auto, seasonal, ewma, or holtwinters)", *forecaster)
 	}
 
 	f, err := os.Open(*charPath)
@@ -89,14 +114,54 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 		machines[i] = models[i].MachineType(i + 1)
 	}
 
-	eng, err := daemon.NewEngine(daemon.Config{
+	engCfg := daemon.Config{
 		Machines:      machines,
 		Models:        models,
 		Char:          ch,
 		Mode:          coreMode,
 		PeriodSeconds: *period,
 		Horizon:       *horizon,
-	})
+		Forecaster:    predictor,
+	}
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	if *tenantsPath != "" {
+		tf, err := os.Open(*tenantsPath)
+		if err != nil {
+			return err
+		}
+		doc, err := tenant.Load(tf)
+		tf.Close() //harmony:allow errflow read-only close; a Load failure is what matters and is checked below
+		if err != nil {
+			return fmt.Errorf("load tenants: %w", err)
+		}
+		m, err := tenant.New(tenant.Config{
+			Base:         engCfg,
+			Tenants:      doc.Tenants,
+			SLOTolerance: doc.SLOTolerance,
+		})
+		if err != nil {
+			return err
+		}
+		d, err := tenant.NewDaemon(m, tenant.RunConfig{
+			Addr:      *addr,
+			TickEvery: *tickWall,
+			Server: tenant.ServerConfig{
+				QueueSize:      *queue,
+				GlobalQueueCap: *queue,
+				TickDeadline:   *deadline,
+			},
+			FinalPlans: out,
+			Log:        logger,
+			Ready:      ready,
+		})
+		if err != nil {
+			return err
+		}
+		return d.Run(ctx)
+	}
+
+	eng, err := daemon.NewEngine(engCfg)
 	if err != nil {
 		return err
 	}
@@ -108,7 +173,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready chan<- string)
 			TickDeadline: *deadline,
 		},
 		FinalPlan: out,
-		Log:       log.New(os.Stderr, "", log.LstdFlags),
+		Log:       logger,
 		Ready:     ready,
 	})
 	if err != nil {

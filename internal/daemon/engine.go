@@ -118,6 +118,14 @@ type Stats struct {
 	LastTickSeconds float64 `json:"lastTickSeconds"`
 	ForecastMAE     float64 `json:"forecastMAE"` // tasks/period, over short types
 
+	// Delta-placement counters (core.DeltaStats, cumulative since start):
+	// machine types whose packings were reused across ticks, types
+	// repacked because their plan projection changed, and realizations
+	// that fell back to a full repack.
+	DeltaReusedTypes   uint64 `json:"deltaReusedTypes"`
+	DeltaRepackedTypes uint64 `json:"deltaRepackedTypes"`
+	DeltaFullRepacks   uint64 `json:"deltaFullRepacks"`
+
 	PeriodSeconds float64 `json:"periodSeconds"`
 	PeriodIndex   int     `json:"periodIndex"`
 	ModelTime     float64 `json:"modelTime"`
@@ -177,6 +185,9 @@ type Engine struct {
 	mActiveByTyp *metrics.GaugeVec
 	mContainers  *metrics.Gauge
 	mForecastMAE *metrics.Gauge
+	mDeltaReuse  *metrics.Gauge
+	mDeltaRepack *metrics.Gauge
+	mDeltaFull   *metrics.Gauge
 }
 
 // Tick coordination errors.
@@ -274,6 +285,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.mActiveByTyp = r.GaugeVec("harmonyd_machines_active_by_type", "Machines the current plan keeps powered, by machine type.", "type")
 	e.mContainers = r.Gauge("harmonyd_containers_planned", "Container slots in the current plan.")
 	e.mForecastMAE = r.Gauge("harmonyd_forecast_mae_tasks", "Mean absolute error of the last per-type arrival forecast (tasks/period).")
+	e.mDeltaReuse = r.Gauge("harmonyd_delta_reused_types", "Machine types whose packings the delta placement reused across ticks (cumulative).")
+	e.mDeltaRepack = r.Gauge("harmonyd_delta_repacked_types", "Machine types repacked because their plan projection changed (cumulative).")
+	e.mDeltaFull = r.Gauge("harmonyd_delta_full_repacks", "Realizations that fell back to a full repack (cumulative).")
 	return e, nil
 }
 
@@ -283,19 +297,25 @@ func (e *Engine) NumTaskTypes() int { return len(e.types) }
 // PeriodSeconds returns the control period in model time.
 func (e *Engine) PeriodSeconds() float64 { return e.cfg.PeriodSeconds }
 
-// validateTask rejects tasks the trace model would reject.
+// validateTask rejects tasks the trace model would reject. The positivity
+// checks are written as !(x > 0) so NaN fields (which compare false
+// against everything) are rejected rather than slipping past a x <= 0
+// guard into the arrival windows.
 func validateTask(t trace.Task) error {
-	if t.Duration <= 0 {
-		return fmt.Errorf("daemon: task %d non-positive duration", t.ID)
+	if !(t.Duration > 0) || math.IsInf(t.Duration, 1) {
+		return fmt.Errorf("daemon: task %d duration not in (0,+Inf)", t.ID)
 	}
-	if t.CPU <= 0 || t.CPU > 1 || t.Mem <= 0 || t.Mem > 1 {
+	if !(t.CPU > 0 && t.CPU <= 1) || !(t.Mem > 0 && t.Mem <= 1) {
 		return fmt.Errorf("daemon: task %d demand out of (0,1]", t.ID)
 	}
 	if t.Priority < 0 || t.Priority > 11 {
 		return fmt.Errorf("daemon: task %d priority out of [0,11]", t.ID)
 	}
-	if t.Submit < 0 {
-		return fmt.Errorf("daemon: task %d negative submit", t.ID)
+	if t.SchedClass < 0 || t.SchedClass > 3 {
+		return fmt.Errorf("daemon: task %d sched class out of [0,3]", t.ID)
+	}
+	if !(t.Submit >= 0) || math.IsInf(t.Submit, 1) {
+		return fmt.Errorf("daemon: task %d submit not in [0,+Inf)", t.ID)
 	}
 	return nil
 }
@@ -481,6 +501,9 @@ func (e *Engine) solve(obs *sim.Observation, idx int, now float64) (*Plan, error
 	}
 	dec := e.policy.LastDecision()
 	plan := e.buildPlan(idx, now, dec)
+	// Safe here: solve() owns the policy via the solving flag, and the
+	// controller's counters only move inside Period.
+	ds := e.policy.DeltaStats()
 
 	e.mu.Lock()
 	for m := range e.active {
@@ -497,9 +520,15 @@ func (e *Engine) solve(obs *sim.Observation, idx int, now float64) (*Plan, error
 	e.prevForecast = e.policy.LastForecast()
 	e.stats.Ticks++
 	e.stats.TotalActive = plan.TotalActive
+	e.stats.DeltaReusedTypes = uint64(ds.ReusedTypes)
+	e.stats.DeltaRepackedTypes = uint64(ds.RepackedTypes)
+	e.stats.DeltaFullRepacks = uint64(ds.FullRepacks)
 	e.mu.Unlock()
 
 	e.mTicks.Add(1)
+	e.mDeltaReuse.Set(float64(ds.ReusedTypes))
+	e.mDeltaRepack.Set(float64(ds.RepackedTypes))
+	e.mDeltaFull.Set(float64(ds.FullRepacks))
 	e.mActive.Set(float64(plan.TotalActive))
 	for _, mp := range plan.Machines {
 		e.mActiveByTyp.With(fmt.Sprint(mp.Type)).Set(float64(mp.Active))
@@ -611,6 +640,8 @@ func (e *Engine) newBacktestPredictor() forecast.Predictor {
 		return &forecast.SeasonalNaive{Season: int(trace.Day / e.cfg.PeriodSeconds)}
 	case sched.PredictEWMA:
 		return &forecast.EWMA{Alpha: 0.4}
+	case sched.PredictHoltWinters:
+		return &forecast.HoltWinters{Season: int(trace.Day / e.cfg.PeriodSeconds)}
 	default:
 		// sched's default fixed order (2,0,1).
 		if ar, err := forecast.NewARIMA(2, 0, 1); err == nil {

@@ -4,12 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 	"time"
 
 	"harmony/internal/classify"
 	"harmony/internal/energy"
+	"harmony/internal/metrics"
 	"harmony/internal/trace"
 )
 
@@ -121,12 +123,24 @@ func TestIngestValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	nan, inf := math.NaN(), math.Inf(1)
 	bad := []trace.Task{
 		{ID: 1, Duration: 0, CPU: 0.1, Mem: 0.1},
 		{ID: 2, Duration: 60, CPU: 0, Mem: 0.1},
 		{ID: 3, Duration: 60, CPU: 0.1, Mem: 1.5},
 		{ID: 4, Duration: 60, CPU: 0.1, Mem: 0.1, Priority: 99},
 		{ID: 5, Duration: 60, CPU: 0.1, Mem: 0.1, Submit: -1},
+		// NaN compares false against everything: the !(x > 0) guards must
+		// reject these rather than let them poison the arrival windows.
+		{ID: 6, Duration: nan, CPU: 0.1, Mem: 0.1},
+		{ID: 7, Duration: 60, CPU: nan, Mem: 0.1},
+		{ID: 8, Duration: 60, CPU: 0.1, Mem: nan},
+		{ID: 9, Duration: 60, CPU: 0.1, Mem: 0.1, Submit: nan},
+		{ID: 10, Duration: inf, CPU: 0.1, Mem: 0.1},
+		{ID: 11, Duration: 60, CPU: 0.1, Mem: 0.1, Submit: inf},
+		{ID: 12, Duration: -60, CPU: 0.1, Mem: 0.1},
+		{ID: 13, Duration: 60, CPU: 0.1, Mem: 0.1, SchedClass: -1},
+		{ID: 14, Duration: 60, CPU: 0.1, Mem: 0.1, SchedClass: 4},
 	}
 	for _, task := range bad {
 		if err := e.Ingest(task); err == nil {
@@ -135,6 +149,53 @@ func TestIngestValidation(t *testing.T) {
 	}
 	if got := e.Snapshot().TasksIngested; got != 0 {
 		t.Errorf("invalid tasks counted: %d", got)
+	}
+}
+
+// TestDeltaStatsExposed pins the satellite contract: the controller's
+// delta-placement counters surface through Snapshot and the registry.
+func TestDeltaStatsExposed(t *testing.T) {
+	cfg := testEngineConfig(t)
+	cfg.Registry = metrics.NewRegistry()
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Snapshot(); s.DeltaFullRepacks != 0 || s.DeltaReusedTypes != 0 {
+		t.Errorf("pre-tick delta stats = %+v", s)
+	}
+	for i := 0; i < 20; i++ {
+		if err := e.Ingest(gratisTask(uint64(i), float64(i*10), 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The first CBS realization has no previous decision to reuse, so it
+	// always books one full repack.
+	if _, err := e.Tick(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Snapshot()
+	if s.DeltaFullRepacks < 1 {
+		t.Errorf("first tick booked no full repack: %+v", s)
+	}
+	// A second identical window reuses or repacks types — either way the
+	// reuse+repack counters must move once prev exists.
+	if _, err := e.Tick(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s2 := e.Snapshot()
+	if s2.DeltaReusedTypes+s2.DeltaRepackedTypes+s2.DeltaFullRepacks <= s.DeltaReusedTypes+s.DeltaRepackedTypes+s.DeltaFullRepacks {
+		t.Errorf("delta counters did not advance: %+v -> %+v", s, s2)
+	}
+	rendered := cfg.Registry.Render()
+	for _, want := range []string{
+		"harmonyd_delta_full_repacks",
+		"harmonyd_delta_reused_types",
+		"harmonyd_delta_repacked_types",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }
 

@@ -138,9 +138,11 @@ func (s *Server) enqueue(tasks []trace.Task) int {
 	return len(tasks)
 }
 
-// decodeTasks parses the request body: a single JSON task object, a JSON
-// array of tasks, or an NDJSON stream of task objects.
-func decodeTasks(r io.Reader) ([]trace.Task, error) {
+// DecodeTasks parses an ingest request body: a single JSON task object, a
+// JSON array of tasks, or an NDJSON stream of task objects. It is shared
+// with the multi-tenant front-end so both daemons accept the same wire
+// formats.
+func DecodeTasks(r io.Reader) ([]trace.Task, error) {
 	br := bufio.NewReader(r)
 	first, err := peekNonSpace(br)
 	if err != nil {
@@ -209,7 +211,7 @@ type ingestResponse struct {
 }
 
 func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
-	tasks, err := decodeTasks(r.Body)
+	tasks, err := DecodeTasks(r.Body)
 	if err != nil {
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return

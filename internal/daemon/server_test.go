@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"harmony/internal/trace"
@@ -52,7 +53,7 @@ func TestDecodeTasksFormats(t *testing.T) {
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
-			tasks, err := decodeTasks(strings.NewReader(tc.body))
+			tasks, err := DecodeTasks(strings.NewReader(tc.body))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -66,7 +67,7 @@ func TestDecodeTasksFormats(t *testing.T) {
 	}
 
 	for _, bad := range []string{"", "   ", "not json", "42", `{"id":}`} {
-		if _, err := decodeTasks(strings.NewReader(bad)); err == nil {
+		if _, err := DecodeTasks(strings.NewReader(bad)); err == nil {
 			t.Errorf("decoded garbage %q", bad)
 		}
 	}
@@ -147,6 +148,63 @@ func TestIngestBackpressure429(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
 		t.Errorf("post-drain status = %d", resp.StatusCode)
+	}
+}
+
+// TestIngestBackpressureConcurrentProducers hammers a small queue from
+// concurrent producers and checks the accepted/rejected split adds up
+// exactly to the queue capacity — enqueue must not over-admit under
+// contention — and that rejections land on the 429 counter.
+func TestIngestBackpressureConcurrentProducers(t *testing.T) {
+	off := false
+	s, _ := newTestServer(t, ServerConfig{QueueSize: 16, startWorker: &off})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	const producers, perProducer = 8, 10
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	accepted, rejected := 0, 0
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var tasks []trace.Task
+			for i := 0; i < perProducer; i++ {
+				tasks = append(tasks, gratisTask(uint64(p*100+i), float64(i), 60))
+			}
+			resp, err := http.Post(srv.URL+"/v1/tasks", "application/x-ndjson",
+				strings.NewReader(taskNDJSON(tasks...)))
+			if err != nil {
+				t.Errorf("post: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			var ir ingestResponse
+			if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+				t.Errorf("decode: %v", err)
+				return
+			}
+			if ir.Rejected > 0 && resp.StatusCode != http.StatusTooManyRequests {
+				t.Errorf("rejected %d but status %d", ir.Rejected, resp.StatusCode)
+			}
+			mu.Lock()
+			accepted += ir.Accepted
+			rejected += ir.Rejected
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+
+	if accepted != 16 || rejected != producers*perProducer-16 {
+		t.Errorf("accepted %d rejected %d, want 16 and %d",
+			accepted, rejected, producers*perProducer-16)
+	}
+	if got := s.mRejected.Value(); got != float64(rejected) {
+		t.Errorf("rejected counter = %v, want %d", got, rejected)
+	}
+	if got := len(s.queue); got != 16 {
+		t.Errorf("queue depth = %d, want 16", got)
 	}
 }
 

@@ -34,6 +34,8 @@ func goleakCovered(pkgPath, filename string) bool {
 	switch pkgPath {
 	case "harmony/internal/daemon":
 		return true
+	case "harmony/internal/tenant": // per-tenant ingest workers + group tick fan-out
+		return true
 	case "harmony": // the parallel experiment fan-out
 		return base == "parallel.go"
 	case "harmony/internal/sim": // the sharded machine audit

@@ -21,6 +21,7 @@ var deterministicPkgs = map[string]bool{
 	"harmony/internal/forecast": true,
 	"harmony/internal/classify": true,
 	"harmony/internal/daemon":   true,
+	"harmony/internal/tenant":   true,
 	"harmony/cmd/harmonyd":      true,
 }
 

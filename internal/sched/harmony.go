@@ -68,6 +68,10 @@ const (
 	PredictSeasonal
 	// PredictEWMA uses exponential smoothing only.
 	PredictEWMA
+	// PredictHoltWinters uses additive triple exponential smoothing with
+	// a daily season, falling back to EWMA until two full days of history
+	// exist.
+	PredictHoltWinters
 )
 
 // Harmony is the paper's full pipeline as a simulation policy: it observes
@@ -408,6 +412,12 @@ func (h *Harmony) LastDemand() [][]float64 { return h.lastDemand }
 // LastDecision returns the most recent controller decision.
 func (h *Harmony) LastDecision() *core.Decision { return h.lastDec }
 
+// DeltaStats returns the controller's cumulative delta-placement counters
+// (reused vs repacked machine types, full-repack fallbacks) so the reuse
+// behavior is observable outside benches. Call it only between Period
+// calls — it reads the controller the in-flight tick owns.
+func (h *Harmony) DeltaStats() core.DeltaStats { return h.ctrl.DeltaStats() }
+
 // LastForecast returns the most recent one-period-ahead arrival-rate
 // forecast per task type (tasks/s). Rates are recorded on each class's
 // short sub-type — where the label-short-first policy lands every
@@ -630,6 +640,12 @@ func (h *Harmony) forecastRates(n int, dst []float64) error {
 			sn := &forecast.SeasonalNaive{Season: season}
 			if err := sn.Fit(hist); err == nil {
 				pred = sn
+			}
+		case PredictHoltWinters:
+			season := int(trace.Day / h.cfg.PeriodSeconds)
+			hw := &forecast.HoltWinters{Season: season}
+			if err := hw.Fit(hist); err == nil {
+				pred = hw
 			}
 		case PredictEWMA:
 			// handled by the fallback below

@@ -1,0 +1,337 @@
+package tenant
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"harmony/internal/daemon"
+	"harmony/internal/metrics"
+	"harmony/internal/trace"
+)
+
+// ServerConfig parameterizes the multi-tenant HTTP front-end.
+type ServerConfig struct {
+	// QueueSize bounds each tenant's private ingest queue when the
+	// tenant's Spec does not set one (default 8192).
+	QueueSize int
+	// GlobalQueueCap bounds the total tasks waiting across every tenant
+	// queue — a shared admission cap so one tenant cannot starve the rest
+	// of queue memory (default 65536).
+	GlobalQueueCap int
+	// TickDeadline bounds each control-period solve (default 30s).
+	TickDeadline time.Duration
+
+	// startWorkers exists for tests that need the queues to stay full.
+	startWorkers *bool
+}
+
+func (cfg *ServerConfig) defaults() {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 8192
+	}
+	if cfg.GlobalQueueCap <= 0 {
+		cfg.GlobalQueueCap = 65536
+	}
+	if cfg.TickDeadline <= 0 {
+		cfg.TickDeadline = 30 * time.Second
+	}
+}
+
+// ingestItem is one unit on a tenant queue: a task, or a barrier that
+// closes its channel once every earlier item has been applied.
+type ingestItem struct {
+	task    trace.Task
+	barrier chan struct{}
+}
+
+// tenantQueue is one tenant's bounded ingest lane: a private queue drained
+// by a private worker, so each tenant's tasks apply in arrival order and a
+// slow tenant only backs up its own lane.
+type tenantQueue struct {
+	ts    *tenantState
+	queue chan ingestItem
+	depth *metrics.Gauge
+}
+
+// Server is the multi-tenant HTTP front-end: tenant-tagged streaming
+// ingest with per-tenant backpressure under a shared global cap, group
+// plan/tick endpoints, per-tenant and per-group stats, and metrics.
+type Server struct {
+	multi *Multi
+	cfg   ServerConfig
+	mux   *http.ServeMux
+
+	queues  map[string]*tenantQueue
+	ordered []*tenantQueue // deterministic (tenant-name) order
+	// globalDepth counts tasks admitted across all queues; admission is
+	// add-then-check with rollback so concurrent producers cannot
+	// overshoot GlobalQueueCap.
+	globalDepth atomic.Int64
+
+	mRejected   *metrics.Counter
+	mIngestErrs *metrics.Counter
+	mPanics     *metrics.Counter
+	mRequests   *metrics.CounterVec
+}
+
+// NewServer wires the multi-tenant controller behind the HTTP API and
+// starts one ingest worker per tenant.
+func NewServer(m *Multi, cfg ServerConfig) *Server {
+	cfg.defaults()
+	s := &Server{
+		multi:  m,
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		queues: make(map[string]*tenantQueue, len(m.tenants)),
+	}
+	r := m.cfg.Registry
+	depthVec := r.GaugeVec("harmonyd_tenant_queue_depth", "Tasks waiting on the tenant's ingest queue.", "tenant")
+	s.mRejected = r.Counter("harmonyd_ingest_rejected_total", "Tasks rejected with 429 because a tenant queue or the global cap was full.")
+	s.mIngestErrs = r.Counter("harmonyd_ingest_invalid_total", "Tasks rejected because they failed validation or named an unknown tenant.")
+	s.mPanics = r.Counter("harmonyd_panics_recovered_total", "Panics recovered by the HTTP middleware.")
+	s.mRequests = r.CounterVec("harmonyd_http_requests_total", "HTTP requests served, by route.", "route")
+
+	for _, ts := range m.tenants {
+		size := ts.spec.QueueSize
+		if size <= 0 {
+			size = cfg.QueueSize
+		}
+		q := &tenantQueue{
+			ts:    ts,
+			queue: make(chan ingestItem, size),
+			depth: depthVec.With(ts.spec.Name),
+		}
+		s.queues[ts.spec.Name] = q
+		s.ordered = append(s.ordered, q)
+	}
+
+	s.mux.HandleFunc("POST /v1/tasks", s.handleTasks)
+	s.mux.HandleFunc("POST /v1/tick", s.handleTick)
+	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics/{group}", s.handleGroupMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	if cfg.startWorkers == nil || *cfg.startWorkers {
+		for _, q := range s.ordered {
+			go s.ingestWorker(q)
+		}
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler with panic recovery around the mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.mPanics.Inc()
+			writeJSONError(w, http.StatusInternalServerError, fmt.Sprintf("panic: %v", v))
+		}
+	}()
+	s.mRequests.With(r.URL.Path).Inc()
+	s.mux.ServeHTTP(w, r)
+}
+
+// ingestWorker drains one tenant's queue into its group engine.
+func (s *Server) ingestWorker(q *tenantQueue) {
+	for item := range q.queue {
+		if item.barrier != nil {
+			close(item.barrier)
+			continue
+		}
+		if err := s.multi.Ingest(item.task); err != nil {
+			s.mIngestErrs.Inc()
+		}
+		s.globalDepth.Add(-1)
+		q.depth.Set(float64(len(q.queue)))
+	}
+}
+
+// Flush blocks until every task enqueued before the call has been applied
+// to the engines. It is what makes a forced tick observe all prior POSTs.
+func (s *Server) Flush() {
+	barriers := make([]chan struct{}, len(s.ordered))
+	for i, q := range s.ordered {
+		barriers[i] = make(chan struct{})
+		q.queue <- ingestItem{barrier: barriers[i]}
+	}
+	for _, b := range barriers {
+		<-b
+	}
+}
+
+// enqueue pushes one task onto its tenant's queue, honoring both the
+// tenant's bound and the shared global cap. Admission against the global
+// cap is add-then-check with rollback: overshooting producers retreat, so
+// the cap holds under arbitrary concurrency.
+func (s *Server) enqueue(q *tenantQueue, t trace.Task) bool {
+	if s.globalDepth.Add(1) > int64(s.cfg.GlobalQueueCap) {
+		s.globalDepth.Add(-1)
+		return false
+	}
+	select {
+	case q.queue <- ingestItem{task: t}:
+		q.depth.Set(float64(len(q.queue)))
+		return true
+	default:
+		s.globalDepth.Add(-1)
+		q.depth.Set(float64(len(q.queue)))
+		return false
+	}
+}
+
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected,omitempty"`
+	Invalid  int    `json:"invalid,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleTasks ingests a tenant-tagged task stream (object, array, or
+// NDJSON — the same wire formats as the single-tenant daemon). Each task
+// routes by its "tenant" field; a ?tenant= query parameter supplies the
+// tag for untagged tasks. Tasks naming unknown tenants are counted
+// invalid; a full tenant queue (or the global cap) rejects the remainder
+// of that tenant's tasks with 429.
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	tasks, err := daemon.DecodeTasks(r.Body)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	defaultTenant := r.URL.Query().Get("tenant")
+	var resp ingestResponse
+	for _, t := range tasks {
+		if t.Tenant == "" {
+			t.Tenant = defaultTenant
+		}
+		ts, err := s.multi.resolve(t.Tenant)
+		if err != nil {
+			resp.Invalid++
+			s.mIngestErrs.Inc()
+			continue
+		}
+		if !s.enqueue(s.queues[ts.spec.Name], t) {
+			resp.Rejected++
+			s.mRejected.Inc()
+			s.multi.recordRejected(ts, 1)
+			continue
+		}
+		resp.Accepted++
+	}
+	switch {
+	case resp.Rejected > 0:
+		resp.Error = "ingest queue full"
+		writeJSON(w, http.StatusTooManyRequests, resp)
+	case resp.Invalid > 0 && resp.Accepted == 0:
+		resp.Error = "unknown tenant"
+		writeJSON(w, http.StatusBadRequest, resp)
+	default:
+		writeJSON(w, http.StatusAccepted, resp)
+	}
+}
+
+// ForceTick flushes every tenant queue and runs one control period for
+// all groups under the configured deadline.
+func (s *Server) ForceTick(parent context.Context) (map[string]*daemon.Plan, error) {
+	s.Flush()
+	ctx, cancel := context.WithTimeout(parent, s.cfg.TickDeadline)
+	defer cancel()
+	return s.multi.Tick(ctx)
+}
+
+func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
+	plans, err := s.ForceTick(r.Context())
+	body := struct {
+		Groups map[string]*daemon.Plan `json:"groups"`
+		Error  string                  `json:"error,omitempty"`
+	}{Groups: plans}
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, body)
+	case errors.Is(err, daemon.ErrTickInFlight):
+		body.Error = err.Error()
+		writeJSON(w, http.StatusConflict, body)
+	case errors.Is(err, context.DeadlineExceeded):
+		body.Error = err.Error()
+		writeJSON(w, http.StatusGatewayTimeout, body)
+	default:
+		body.Error = err.Error()
+		writeJSON(w, http.StatusInternalServerError, body)
+	}
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, _ *http.Request) {
+	plans, err := s.multi.Plans()
+	if err != nil {
+		writeJSONError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Groups map[string]*daemon.Plan `json:"groups"`
+	}{plans})
+}
+
+// queueStats is the per-tenant queue telemetry nested under /v1/stats.
+type queueStats struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	queues := make(map[string]queueStats, len(s.ordered))
+	for _, q := range s.ordered {
+		queues[q.ts.spec.Name] = queueStats{Depth: len(q.queue), Capacity: cap(q.queue)}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		MultiStats
+		Queues      map[string]queueStats `json:"queues"`
+		GlobalDepth int64                 `json:"globalDepth"`
+		GlobalCap   int                   `json:"globalCap"`
+	}{s.multi.Snapshot(), queues, s.globalDepth.Load(), s.cfg.GlobalQueueCap})
+}
+
+// handleMetrics serves the multi-tenant registry: the tenant- and
+// group-labeled series plus the front-end's own counters. Per-group
+// engine series (identical families per group) live at /metrics/{group}.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	//harmony:allow errflow HTTP response write; the client disconnecting is not an error we can handle
+	io.WriteString(w, s.multi.cfg.Registry.Render())
+}
+
+// handleGroupMetrics serves one group engine's private registry — the
+// same families the single-tenant daemon exposes, scoped to the group.
+func (s *Server) handleGroupMetrics(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("group")
+	for _, g := range s.multi.groups {
+		if g.name == name {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			//harmony:allow errflow HTTP response write; the client disconnecting is not an error we can handle
+			io.WriteString(w, g.reg.Render())
+			return
+		}
+	}
+	writeJSONError(w, http.StatusNotFound, fmt.Sprintf("tenant: no group %q", name))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	//harmony:allow errflow HTTP response write; the client disconnecting is not an error we can handle
+	_ = enc.Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -76,6 +76,10 @@ type Task struct {
 	// may only run on machines of this platform (§III — the trace's
 	// difficult-to-schedule tasks are often constrained).
 	Constraint string `json:"constraint,omitempty"`
+	// Tenant, when non-empty, names the application the task belongs to.
+	// Multi-tenant harmonyd routes tagged NDJSON ingest by this field;
+	// the batch pipeline and the simulator ignore it.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Group returns the task's priority group.
