@@ -2,15 +2,21 @@
 // internal/lint over the module — the multichecker CI runs alongside go
 // vet. Exit status: 0 clean, 1 findings, 2 usage or load failure.
 //
-//	harmony-lint [-analyzers a,b,...] [-json] [packages...]
+//	harmony-lint [-only a,b,...] [-pkg pattern] [-json|-sarif] [packages...]
 //
 // With no packages it checks ./... from the enclosing module root.
-// -json emits the findings as a JSON array (file, line, column,
-// analyzer, message, and the call-path witness for interprocedural
-// findings), sorted the same way as the text output, with file paths
-// relative to the working directory. Findings can be suppressed in place
-// with `//harmony:allow <analyzer> <reason>` on the flagged line or the
-// line above it; see internal/lint.
+// -only (alias: -analyzers) restricts the run to a comma-separated
+// analyzer subset. -pkg restricts *reporting* to packages whose import
+// path matches a glob (or contains the pattern as a substring when it
+// has no glob metacharacters); the analysis itself still sees the whole
+// module, so interprocedural facts stay accurate. -json emits the
+// findings as a JSON array (file, line, column, analyzer, message, and
+// the call-path witness for interprocedural findings), sorted the same
+// way as the text output, with file paths relative to the working
+// directory. -sarif emits the same findings as a SARIF 2.1.0 log for
+// code-scanning upload. Findings can be suppressed in place with
+// `//harmony:allow <analyzer> <reason>` on the flagged line or the line
+// above it; see internal/lint.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path"
 	"path/filepath"
 	"strings"
 
@@ -33,16 +40,36 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("harmony-lint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		names   = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		list    = fs.Bool("list", false, "list analyzers and exit")
-		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
+		names    = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		only     = fs.String("only", "", "comma-separated analyzer subset (alias of -analyzers)")
+		pkgPat   = fs.String("pkg", "", "report findings only in packages whose import path matches this glob (substring match when the pattern has no metacharacters)")
+		list     = fs.Bool("list", false, "list analyzers and exit")
+		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array")
+		sarifOut = fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *list && *jsonOut {
-		fmt.Fprintln(errOut, "harmony-lint: -list and -json cannot be combined")
+	if *list && (*jsonOut || *sarifOut) {
+		fmt.Fprintln(errOut, "harmony-lint: -list and -json/-sarif cannot be combined")
 		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(errOut, "harmony-lint: -json and -sarif cannot be combined")
+		return 2
+	}
+	if *names != "" && *only != "" {
+		fmt.Fprintln(errOut, "harmony-lint: -analyzers and -only cannot be combined (they are aliases)")
+		return 2
+	}
+	if *only != "" {
+		*names = *only
+	}
+	if *pkgPat != "" {
+		if _, err := path.Match(*pkgPat, "probe"); err != nil {
+			fmt.Fprintf(errOut, "harmony-lint: bad -pkg pattern %q: %v\n", *pkgPat, err)
+			return 2
+		}
 	}
 
 	analyzers := lint.All()
@@ -72,12 +99,21 @@ func run(args []string, out, errOut io.Writer) int {
 		return 2
 	}
 	diags := lint.Check(pkgs, analyzers)
-	if *jsonOut {
+	if *pkgPat != "" {
+		diags = filterDiagsByPkg(diags, pkgs, *pkgPat)
+	}
+	if *jsonOut || *sarifOut {
 		cwd, err := os.Getwd()
 		if err != nil {
 			cwd = "" // keep absolute paths rather than fail the run
 		}
-		if err := writeFindingsJSON(out, cwd, diags); err != nil {
+		write := writeFindingsJSON
+		if *sarifOut {
+			write = func(out io.Writer, base string, diags []lint.Diagnostic) error {
+				return writeFindingsSARIF(out, base, analyzers, diags)
+			}
+		}
+		if err := write(out, cwd, diags); err != nil {
 			fmt.Fprintln(errOut, err)
 			return 2
 		}
@@ -128,4 +164,141 @@ func writeFindingsJSON(out io.Writer, base string, diags []lint.Diagnostic) erro
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(findings)
+}
+
+// pkgPatternMatches reports whether an import path matches the -pkg
+// pattern: path.Match semantics when the pattern carries glob
+// metacharacters, substring containment otherwise.
+func pkgPatternMatches(pattern, pkgPath string) bool {
+	if strings.ContainsAny(pattern, "*?[") {
+		ok, err := path.Match(pattern, pkgPath)
+		return err == nil && ok
+	}
+	return strings.Contains(pkgPath, pattern)
+}
+
+// filterDiagsByPkg keeps the findings whose file belongs to a package
+// matching the -pkg pattern. The mapping goes through package
+// directories, so analysis stays whole-module while reporting narrows.
+func filterDiagsByPkg(diags []lint.Diagnostic, pkgs []*lint.Package, pattern string) []lint.Diagnostic {
+	dirs := make(map[string]bool)
+	for _, pkg := range pkgs {
+		if pkgPatternMatches(pattern, pkg.Path) {
+			dirs[pkg.Dir] = true
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if dirs[filepath.Dir(d.Pos.Filename)] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// --- SARIF 2.1.0 output -------------------------------------------------
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeFindingsSARIF renders the diagnostics as a SARIF 2.1.0 log. The
+// rules array carries every analyzer that ran (so zero-finding runs
+// still document the rule set), and interprocedural witness paths fold
+// into the message text.
+func writeFindingsSARIF(out io.Writer, base string, azs []*lint.Analyzer, diags []lint.Diagnostic) error {
+	ruleIndex := make(map[string]int, len(azs))
+	rules := make([]sarifRule, 0, len(azs))
+	for _, az := range azs {
+		ruleIndex[az.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: az.Name, ShortDescription: sarifMessage{Text: az.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if base != "" {
+			if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		text := d.Message
+		if len(d.Path) > 0 {
+			text += "\nwitness: " + strings.Join(d.Path, " → ")
+		}
+		idx, ok := ruleIndex[d.Analyzer]
+		if !ok {
+			idx = len(rules)
+			ruleIndex[d.Analyzer] = idx
+			rules = append(rules, sarifRule{ID: d.Analyzer, ShortDescription: sarifMessage{Text: d.Analyzer}})
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: text},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(file)},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "harmony-lint", Rules: rules}}, Results: results}},
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
 }

@@ -17,7 +17,7 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("run -list = %d, stderr %q", code, errOut.String())
 	}
-	for _, name := range []string{"floateq", "mutexspan", "nodeterm", "rngdiscipline", "sortedemit"} {
+	for _, name := range []string{"ctxflow", "deferclose", "floateq", "lockedfield", "lockorder", "nodeterm", "rngdiscipline", "sortedemit"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -41,6 +41,67 @@ func TestRunUnknownAnalyzer(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "unknown analyzer") {
 		t.Errorf("stderr %q missing unknown-analyzer error", errOut.String())
+	}
+}
+
+// -only is an alias of -analyzers: same subset semantics, same unknown-
+// analyzer error, and combining the two is refused.
+func TestRunOnlyFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "floateq,ctxflow", "-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -only floateq,ctxflow -list = %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "floateq") || !strings.Contains(out.String(), "ctxflow") {
+		t.Errorf("-only subset missing from -list output:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "nodeterm") {
+		t.Errorf("-only subset should exclude nodeterm:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-only", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("run -only nosuch = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr %q missing unknown-analyzer error", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-only", "floateq", "-analyzers", "floateq"}, &out, &errOut); code != 2 {
+		t.Fatalf("run -only -analyzers = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "aliases") {
+		t.Errorf("stderr %q missing alias-conflict error", errOut.String())
+	}
+}
+
+func TestRunBadPkgPattern(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-pkg", "[", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("run -pkg [ = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "bad -pkg pattern") {
+		t.Errorf("stderr %q missing bad-pattern error", errOut.String())
+	}
+}
+
+func TestPkgPatternMatches(t *testing.T) {
+	cases := []struct {
+		pattern, pkg string
+		want         bool
+	}{
+		{"harmony/internal/*", "harmony/internal/daemon", true},
+		{"harmony/internal/*", "harmony/cmd/harmonyd", false},
+		{"daemon", "harmony/internal/daemon", true},
+		{"daemon", "harmony/internal/tenant", false},
+		{"harmony/*/daemon", "harmony/internal/daemon", true},
+	}
+	for _, c := range cases {
+		if got := pkgPatternMatches(c.pattern, c.pkg); got != c.want {
+			t.Errorf("pkgPatternMatches(%q, %q) = %v, want %v", c.pattern, c.pkg, got, c.want)
+		}
 	}
 }
 
@@ -78,12 +139,18 @@ func TestRunListGolden(t *testing.T) {
 }
 
 func TestRunListJSONConflict(t *testing.T) {
-	var out, errOut bytes.Buffer
-	if code := run([]string{"-list", "-json"}, &out, &errOut); code != 2 {
-		t.Fatalf("run -list -json = %d, want 2", code)
-	}
-	if !strings.Contains(errOut.String(), "cannot be combined") {
-		t.Errorf("stderr %q missing conflict error", errOut.String())
+	for _, args := range [][]string{
+		{"-list", "-json"},
+		{"-list", "-sarif"},
+		{"-json", "-sarif"},
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Fatalf("run %v = %d, want 2", args, code)
+		}
+		if !strings.Contains(errOut.String(), "cannot be combined") {
+			t.Errorf("run %v: stderr %q missing conflict error", args, errOut.String())
+		}
 	}
 }
 
@@ -116,6 +183,70 @@ func TestWriteFindingsJSON(t *testing.T) {
 	if out.String() != string(golden) {
 		t.Errorf("-json output drifted from testdata/findings.json:\n--- golden\n%s--- got\n%s",
 			golden, out.String())
+	}
+}
+
+// TestWriteFindingsSARIF pins the -sarif shape against a golden file:
+// SARIF 2.1.0 envelope, one rule per analyzer that ran, witness paths
+// folded into the message text.
+func TestWriteFindingsSARIF(t *testing.T) {
+	base := "/work/repo"
+	azs, err := lint.ByName([]string{"detertaint", "floateq"})
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	diags := []lint.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/work/repo/internal/sched/harmony.go", Line: 42, Column: 7},
+			Analyzer: "detertaint",
+			Message:  "call of x transitively reads time.Now (wall clock)",
+			Path:     []string{"sched.(*Harmony).Period", "impure.Stamp", "time.Now (wall clock)"},
+		},
+		{
+			Pos:      token.Position{Filename: "/elsewhere/outside.go", Line: 7, Column: 1},
+			Analyzer: "floateq",
+			Message:  "float == comparison",
+		},
+	}
+	var out bytes.Buffer
+	if err := writeFindingsSARIF(&out, base, azs, diags); err != nil {
+		t.Fatalf("writeFindingsSARIF: %v", err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "findings.sarif"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("-sarif output drifted from testdata/findings.sarif:\n--- golden\n%s--- got\n%s",
+			golden, out.String())
+	}
+}
+
+// TestRunSARIFCleanPackage drives -sarif through the real loader: a
+// clean package must produce a valid SARIF log with no results, exit 0.
+func TestRunSARIFCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-sarif", "./internal/queueing"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -sarif ./internal/queueing = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF envelope: %+v", log)
+	}
+	if got := log.Runs[0].Tool.Driver.Name; got != "harmony-lint" {
+		t.Errorf("driver name %q", got)
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Errorf("unexpected findings: %+v", log.Runs[0].Results)
+	}
+	if len(log.Runs[0].Tool.Driver.Rules) != len(lint.All()) {
+		t.Errorf("rules = %d, want one per analyzer (%d)", len(log.Runs[0].Tool.Driver.Rules), len(lint.All()))
 	}
 }
 

@@ -114,5 +114,8 @@ loop:
 		return fmt.Errorf("daemon: shutdown: %w", err)
 	}
 	<-serveErr // http.ErrServerClosed
+	// With the listener drained nothing can enqueue anymore; stop the
+	// ingest worker so no goroutine outlives Run.
+	d.srv.Close()
 	return nil
 }

@@ -153,18 +153,27 @@ type Engine struct {
 	labeler *classify.Labeler
 	typeIdx map[classify.TypeID]int
 
-	mu           sync.Mutex
-	now          float64 // model time of the last tick boundary
-	periodIdx    int     // completed ticks
-	arrivals     []int   // per type, since the last tick
-	open         []openTask
-	plan         *Plan
-	active       []int // machines powered per type (MPC state)
+	mu sync.Mutex
+	//harmony:guardedby(mu)
+	now float64 // model time of the last tick boundary
+	//harmony:guardedby(mu)
+	periodIdx int // completed ticks
+	//harmony:guardedby(mu)
+	arrivals []int // per type, since the last tick
+	//harmony:guardedby(mu)
+	open []openTask
+	//harmony:guardedby(mu)
+	plan *Plan
+	//harmony:guardedby(mu)
+	active []int // machines powered per type (MPC state)
+	//harmony:guardedby(mu)
 	prevForecast []float64
-	stats        Stats
+	//harmony:guardedby(mu)
+	stats Stats
 	// arrHist[n] is the last backtestCap arrival windows (tasks/period)
 	// of short type n — the series ForecastBacktest evaluates. Long
 	// sub-types receive no direct arrivals and keep empty histories.
+	//harmony:guardedby(mu)
 	arrHist [][]float64
 
 	// solving serializes ticks without blocking ingest: the policy and

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"harmony/internal/metrics"
@@ -49,7 +50,9 @@ type Server struct {
 	cfg ServerConfig
 	mux *http.ServeMux
 
-	queue chan ingestItem
+	queue     chan ingestItem
+	workers   sync.WaitGroup
+	closeOnce sync.Once
 
 	mQueueDepth *metrics.Gauge
 	mRejected   *metrics.Counter
@@ -84,9 +87,22 @@ func NewServer(eng *Engine, cfg ServerConfig) *Server {
 		fmt.Fprintln(w, "ok")
 	})
 	if cfg.startWorker == nil || *cfg.startWorker {
+		s.workers.Add(1)
 		go s.ingestWorker()
 	}
 	return s
+}
+
+// Close shuts down the ingest pipeline: the queue is closed so the
+// worker drains everything already admitted and exits. Callers must
+// stop the HTTP server first — an enqueue racing Close would send on
+// the closed queue. Close is idempotent and blocks until the worker
+// has exited.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.queue)
+		s.workers.Wait()
+	})
 }
 
 // ServeHTTP implements http.Handler with panic recovery around the mux.
@@ -101,8 +117,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// ingestWorker drains the queue into the engine.
+// ingestWorker drains the queue into the engine until Close closes it.
 func (s *Server) ingestWorker() {
+	defer s.workers.Done()
 	for item := range s.queue {
 		if item.barrier != nil {
 			close(item.barrier)

@@ -118,8 +118,11 @@ func TestNoDetermFixture(t *testing.T)      { runFixture(t, NoDeterm) }
 func TestRNGDisciplineFixture(t *testing.T) { runFixture(t, RNGDiscipline) }
 func TestSortedEmitFixture(t *testing.T)    { runFixture(t, SortedEmit) }
 func TestFloatEqFixture(t *testing.T)       { runFixture(t, FloatEq) }
-func TestMutexSpanFixture(t *testing.T)     { runFixture(t, MutexSpan) }
 func TestDeterTaintFixture(t *testing.T)    { runFixture(t, DeterTaint) }
+func TestCtxFlowFixture(t *testing.T)       { runFixture(t, CtxFlow) }
+func TestDeferCloseFixture(t *testing.T)    { runFixture(t, DeferClose) }
+func TestLockOrderFixture(t *testing.T)     { runFixture(t, LockOrder) }
+func TestLockedFieldFixture(t *testing.T)   { runFixture(t, LockedField) }
 func TestGoLeakFixture(t *testing.T)        { runFixture(t, GoLeak) }
 func TestHotPathAllocFixture(t *testing.T)  { runFixture(t, HotPathAlloc) }
 func TestErrFlowFixture(t *testing.T)       { runFixture(t, ErrFlow) }
@@ -165,19 +168,21 @@ func TestScopes(t *testing.T) {
 		{NoDeterm, "harmony/internal/trace", false},
 		{RNGDiscipline, "harmony/internal/stats", false},
 		{RNGDiscipline, "harmony/internal/trace", true},
-		{MutexSpan, "harmony/internal/daemon", true},
-		{MutexSpan, "harmony/internal/metrics", false},
+		{DeferClose, "harmony/internal/daemon", true},
+		{DeferClose, "harmony/internal/metrics", true},
+		{DeferClose, "harmony/cmd/harmonyd", true},
+		{DeferClose, "harmony/internal/stats", false},
 	}
 	for _, c := range cases {
 		if got := c.az.Packages(c.pkg); got != c.applies {
 			t.Errorf("%s.Packages(%q) = %v, want %v", c.az.Name, c.pkg, got, c.applies)
 		}
 	}
-	if !MutexSpan.Files("harmony/internal/sim", "/x/parallel.go") {
-		t.Error("mutexspan should cover internal/sim/parallel.go")
+	if !DeferClose.Files("harmony/internal/sim", "/x/parallel.go") {
+		t.Error("deferclose should cover internal/sim/parallel.go")
 	}
-	if MutexSpan.Files("harmony/internal/sim", "/x/sim.go") {
-		t.Error("mutexspan should not cover internal/sim/sim.go")
+	if DeferClose.Files("harmony/internal/sim", "/x/sim.go") {
+		t.Error("deferclose should not cover internal/sim/sim.go")
 	}
 	// Module analyzers scope themselves.
 	for _, c := range []struct {
@@ -199,6 +204,25 @@ func TestScopes(t *testing.T) {
 	}
 	if !detertaintDeterministic("harmony/internal/sched") || detertaintDeterministic("harmony/internal/stats") {
 		t.Error("detertaint deterministic-package scope wrong")
+	}
+	// The flow-sensitive analyzers inherit goleak's concurrent-surface
+	// scope (plus metrics for the lock-centric ones) and their own
+	// fixture trees — but never other analyzers' fixtures.
+	if !ctxflowCovered("harmony/internal/tenant", "/x/server.go") ||
+		!ctxflowCovered("fixture/ctxflow", "/x/a.go") ||
+		ctxflowCovered("fixture/goleak", "/x/a.go") {
+		t.Error("ctxflow scope wrong")
+	}
+	if !lockorderCovered("harmony/internal/metrics", "/x/metrics.go") ||
+		!lockorderCovered("fixture/lockorder", "/x/a.go") ||
+		lockorderCovered("fixture/goleak", "/x/a.go") ||
+		lockorderCovered("harmony/internal/stats", "/x/rng.go") {
+		t.Error("lockorder scope wrong")
+	}
+	if !lockedfieldCovered("harmony/internal/metrics") ||
+		!lockedfieldCovered("fixture/lockedfield") ||
+		lockedfieldCovered("harmony/internal/core") {
+		t.Error("lockedfield scope wrong")
 	}
 }
 

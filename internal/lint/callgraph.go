@@ -694,10 +694,20 @@ func astUnparen(e ast.Expr) ast.Expr {
 }
 
 // sigKey normalizes a signature for function-value matching: the
-// receiver is dropped (a method value's call signature has none).
+// receiver is dropped (a method value's call signature has none) and
+// parameter/result names are erased — `func (g Gauge) Add(d int) int`
+// must match a value of type `func(int) int`.
 func sigKey(sig *types.Signature) string {
-	plain := types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	plain := types.NewSignatureType(nil, nil, nil, unnamedTuple(sig.Params()), unnamedTuple(sig.Results()), sig.Variadic())
 	return types.TypeString(plain, func(p *types.Package) string { return p.Path() })
+}
+
+func unnamedTuple(t *types.Tuple) *types.Tuple {
+	vars := make([]*types.Var, t.Len())
+	for i := range vars {
+		vars[i] = types.NewVar(token.NoPos, nil, "", t.At(i).Type())
+	}
+	return types.NewTuple(vars...)
 }
 
 // prettyFuncName renders a function for diagnostics: pkg.Func,

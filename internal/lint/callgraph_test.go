@@ -132,3 +132,44 @@ func TestGraphAnnotationsAndExt(t *testing.T) {
 		}
 	}
 }
+
+// TestGraphBoundMethodDispatch pins bound-method resolution: binding
+// g.Add to a local and calling through it resolves, by signature, to
+// every value-taken func(int) int method — and to nothing else.
+func TestGraphBoundMethodDispatch(t *testing.T) {
+	g := graphFixture(t)
+	bm := nodeByName(t, g, "callgraph.BoundMethod")
+	es := edgesTo(bm, "callgraph.Gauge.Add")
+	if len(es) != 1 {
+		t.Fatalf("BoundMethod -> Gauge.Add: got %d edges, want 1", len(es))
+	}
+	if e := es[0]; !e.Dynamic || e.Via != "function value" {
+		t.Errorf("BoundMethod -> Gauge.Add: dynamic=%v via=%q, want function value", e.Dynamic, e.Via)
+	}
+	if extra := edgesTo(bm, "callgraph.Shifter.Shift"); len(extra) != 0 {
+		t.Errorf("BoundMethod should not reach Shifter.Shift (never value-taken), got %d edges", len(extra))
+	}
+	if extra := edgesTo(bm, "callgraph.Dog.Sound"); len(extra) != 0 {
+		t.Errorf("BoundMethod should not reach Dog.Sound (signature mismatch), got %d edges", len(extra))
+	}
+}
+
+// TestGraphInterfaceMethodValue pins the conservative rule for
+// interface method values: taking a.Add marks every implementation as
+// value-taken, so CallAdder's indirect call reaches both concrete Adds.
+func TestGraphInterfaceMethodValue(t *testing.T) {
+	g := graphFixture(t)
+	ca := nodeByName(t, g, "callgraph.CallAdder")
+	for _, callee := range []string{"callgraph.Gauge.Add", "callgraph.(*Offset).Add"} {
+		es := edgesTo(ca, callee)
+		if len(es) != 1 {
+			t.Fatalf("CallAdder -> %s: got %d edges, want 1", callee, len(es))
+		}
+		if e := es[0]; !e.Dynamic || e.Via != "function value" {
+			t.Errorf("CallAdder -> %s: dynamic=%v via=%q, want function value", callee, e.Dynamic, e.Via)
+		}
+	}
+	if extra := edgesTo(ca, "callgraph.Shifter.Shift"); len(extra) != 0 {
+		t.Errorf("CallAdder should not reach Shifter.Shift (never value-taken), got %d edges", len(extra))
+	}
+}

@@ -1,0 +1,107 @@
+package lint
+
+// A generic iterative dataflow solver over CFG blocks. Problems supply
+// the lattice (Merge, Equal), the boundary fact, and a transfer
+// function; Solve sweeps blocks round-robin in index order (reverse
+// order for backward problems) until a fixed point.
+//
+// Facts must be treated as immutable by Transfer (return a fresh value)
+// and Merge must be commutative and associative. Blocks that are never
+// reached from the boundary keep no entry in the solution maps — the
+// facts of unreachable code are undefined, and callers should skip
+// such blocks.
+
+// Direction selects which way facts flow through the CFG.
+type Direction int
+
+const (
+	Forward  Direction = iota // entry→exit, facts merge over predecessors
+	Backward                  // exit→entry, facts merge over successors
+)
+
+// Problem is one dataflow analysis. F is the fact type; the zero value
+// of F is never passed to Transfer/Merge/Equal — only facts produced by
+// Boundary, Transfer, or Merge are.
+type Problem[F any] interface {
+	// Boundary is the fact entering the flow's start block (the entry
+	// block for forward problems, the exit block for backward ones).
+	Boundary() F
+	// Transfer computes the fact leaving a block from the fact entering
+	// it, in flow direction. For backward problems "entering" means at
+	// the block's end, and the transfer should replay Nodes in reverse.
+	Transfer(b *Block, in F) F
+	// Merge joins two facts at a control-flow join.
+	Merge(a, b F) F
+	// Equal reports whether two facts are the same (fixpoint test).
+	Equal(a, b F) bool
+}
+
+// Solution holds per-block facts. In is the fact entering a block in
+// flow direction, Out the fact leaving it. Blocks unreachable from the
+// boundary are absent from both maps.
+type Solution[F any] struct {
+	In, Out map[*Block]F
+}
+
+// Solve runs the iterative algorithm to a fixed point and returns the
+// per-block facts. Determinism: blocks are swept in index order and
+// merge order follows the Preds/Succs slice order, both of which are
+// fixed by the lowering.
+func Solve[F any](c *CFG, p Problem[F], dir Direction) Solution[F] {
+	sol := Solution[F]{
+		In:  make(map[*Block]F, len(c.Blocks)),
+		Out: make(map[*Block]F, len(c.Blocks)),
+	}
+	order := c.Blocks
+	if dir == Backward {
+		order = make([]*Block, len(c.Blocks))
+		for i, blk := range c.Blocks {
+			order[len(order)-1-i] = blk
+		}
+	}
+	start := c.Entry
+	if dir == Backward {
+		start = c.Exit
+	}
+	flowIn := func(blk *Block) []*Block {
+		if dir == Backward {
+			return blk.Succs
+		}
+		return blk.Preds
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range order {
+			var in F
+			have := false
+			if blk == start {
+				in = p.Boundary()
+				have = true
+			}
+			for _, pb := range flowIn(blk) {
+				out, ok := sol.Out[pb]
+				if !ok {
+					continue // not yet reached; contributes nothing
+				}
+				if !have {
+					in, have = out, true
+				} else {
+					in = p.Merge(in, out)
+				}
+			}
+			if !have {
+				continue // unreachable from the boundary (so far)
+			}
+			out := p.Transfer(blk, in)
+			oldIn, hadIn := sol.In[blk]
+			oldOut := sol.Out[blk]
+			if !hadIn || !p.Equal(oldIn, in) || !p.Equal(oldOut, out) {
+				sol.In[blk] = in
+				sol.Out[blk] = out
+				changed = true
+			}
+		}
+	}
+	return sol
+}

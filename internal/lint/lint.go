@@ -341,12 +341,15 @@ func (a *allowSet) bind(ann *allowAnn, line int) {
 // All returns every analyzer in the suite, sorted by name.
 func All() []*Analyzer {
 	return []*Analyzer{
+		CtxFlow,
+		DeferClose,
 		DeterTaint,
 		ErrFlow,
 		FloatEq,
 		GoLeak,
 		HotPathAlloc,
-		MutexSpan,
+		LockedField,
+		LockOrder,
 		NoDeterm,
 		RNGDiscipline,
 		SortedEmit,

@@ -47,6 +47,41 @@ func Closure() func() int {
 	return func() int { return x }
 }
 
+// Gauge, Offset, and Shifter carry methods with the func(int) int call
+// signature, distinct from Sound's, so the bound-method tests cannot
+// cross-contaminate the func() string dispatch tests above.
+type Gauge struct{ n int }
+
+func (g Gauge) Add(d int) int { return g.n + d }
+
+type Offset struct{ off int }
+
+func (o *Offset) Add(d int) int { return o.off + d }
+
+// Shifter's method shares the signature but is never value-taken
+// anywhere in the fixture: function-value dispatch must exclude it.
+type Shifter struct{}
+
+func (Shifter) Shift(d int) int { return d << 1 }
+
+// BoundMethod binds g.Add and calls through the local: the call
+// resolves by signature to every value-taken func(int) int.
+func BoundMethod(g Gauge) int {
+	f := g.Add
+	return f(1)
+}
+
+type Adder interface{ Add(int) int }
+
+// TakeInterfaceMethod takes an interface method value: conservatively
+// every implementation's value is taken.
+func TakeInterfaceMethod(a Adder) func(int) int { return a.Add }
+
+// CallAdder calls through a func(int) int parameter: candidates are the
+// value-taken methods of that signature, never Shifter.Shift (not
+// taken) or Dog.Sound (different signature).
+func CallAdder(f func(int) int) int { return f(2) }
+
 //harmony:hotpath
 func Hot() {}
 

@@ -1,0 +1,128 @@
+// Package deferclose exercises the release-on-all-paths and
+// no-blocking-under-lock checks.
+package deferclose
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// The early return leaves c.mu locked.
+func (c *counter) Bad(stop bool) int {
+	c.mu.Lock() // want `c\.mu \(Lock\) acquired here is not released on every path`
+	if stop {
+		return 0
+	}
+	c.n++
+	c.mu.Unlock()
+	return c.n
+}
+
+// A deferred unlock covers every path.
+func (c *counter) Good(stop bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if stop {
+		return 0
+	}
+	c.n++
+	return c.n
+}
+
+// Released on one branch only; falling off the end still holds it.
+func (c *counter) BranchLeak(flag bool) {
+	c.mu.Lock() // want `c\.mu \(Lock\) acquired here is not released on every path: the function returns without Unlock`
+	if flag {
+		c.mu.Unlock()
+	}
+}
+
+// Reading t.C only looks through the ticker — the obligation stays, and
+// no path stops it.
+func TickerLeak(d time.Duration) int {
+	t := time.NewTicker(d) // want `time\.NewTicker acquired here is not released on every path`
+	return len(t.C)
+}
+
+func TickerGood(d time.Duration) int {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	return len(t.C)
+}
+
+// Returning the resource transfers ownership to the caller.
+func MakeTicker(d time.Duration) *time.Ticker {
+	t := time.NewTicker(d)
+	return t
+}
+
+// Passing the resource to another call transfers ownership too.
+func register(*time.Ticker) {}
+
+func StopLater(d time.Duration) {
+	t := time.NewTicker(d)
+	register(t)
+}
+
+// The error path returns the acquisition's error — the response was
+// never valid there. The success path leaks the body.
+func RespLeak(url string) (int, error) {
+	resp, err := http.Get(url) // want `http\.Get response body acquired here is not released on every path`
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+func FetchGood(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// Blocking channel operations under a held mutex.
+func (c *counter) BadWait(ch chan int) {
+	c.mu.Lock()
+	<-ch // want `blocking channel receive while holding deferclose\.counter\.mu`
+	c.mu.Unlock()
+}
+
+// The deferred unlock does not release for this check: the lock is held
+// across the select, which has no default and can block forever.
+func (c *counter) BadSelect(ch chan int, done chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select { // want `blocking select while holding deferclose\.counter\.mu`
+	case v := <-ch:
+		c.n = v
+	case <-done:
+	}
+}
+
+// A select with a default never blocks.
+func (c *counter) OkPoll(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case v := <-ch:
+		c.n = v
+	default:
+	}
+}
+
+// Annotated: the channel is buffered by construction.
+func (c *counter) AllowedSend(ch chan int) {
+	c.mu.Lock()
+	//harmony:allow deferclose emit channel is buffered at construction, send cannot block
+	ch <- c.n
+	c.mu.Unlock()
+}

@@ -1,0 +1,102 @@
+// Package lockedfield exercises guarded-field inference and the
+// //harmony:guardedby strict contract.
+package lockedfield
+
+import "sync"
+
+type Reg struct {
+	mu sync.Mutex
+	//harmony:guardedby(mu)
+	count int
+	total int
+	name  string
+}
+
+// Constructors are exempt: the value is not shared yet.
+func New(name string) *Reg {
+	return &Reg{name: name}
+}
+
+// count is annotated: every access must hold mu.
+func (r *Reg) Bump() {
+	r.mu.Lock()
+	r.count++
+	r.mu.Unlock()
+}
+
+func (r *Reg) Peek() int {
+	return r.count // want `field lockedfield\.Reg\.count is annotated //harmony:guardedby\(mu\) but this access does not hold mu on every path`
+}
+
+// Annotated fields accept explicit allows for the deliberate cases.
+func (r *Reg) Snapshot() int {
+	//harmony:allow lockedfield read-only snapshot during single-threaded shutdown
+	return r.count
+}
+
+// total has no annotation; its guard is inferred from usage. Guarded
+// accesses: Inc (write), Add (write), Total (read), flushLocked (read +
+// write, via Flush's held lock), the closure in Scaled (read) — six of
+// seven. Race is the seventh, and the finding.
+func (r *Reg) Inc() {
+	r.mu.Lock()
+	r.total++
+	r.mu.Unlock()
+}
+
+func (r *Reg) Add(n int) {
+	r.mu.Lock()
+	r.total += n
+	r.mu.Unlock()
+}
+
+func (r *Reg) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// The locked-helper pattern: flushLocked's only call site holds r.mu,
+// so it analyzes with the lock in its entry fact.
+func (r *Reg) Flush() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flushLocked()
+}
+
+func (r *Reg) flushLocked() int {
+	v := r.total
+	r.total = 0
+	return v
+}
+
+// A function literal inherits the locks held where it is defined.
+func (r *Reg) Scaled(k int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := func() int { return r.total * k }
+	return f()
+}
+
+func (r *Reg) Race() int {
+	return r.total // want `field lockedfield\.Reg\.total is accessed under mu on 6 of 7 accesses \(inferred guard\) but not here`
+}
+
+// name is read-only after construction: no guarded write, no inferred
+// guard, no findings — even though Label reads it under the lock.
+func (r *Reg) Name() string {
+	return r.name
+}
+
+func (r *Reg) Label() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.name
+}
+
+// An annotation naming a non-existent sibling field is itself a finding.
+type Bad struct {
+	mu sync.Mutex
+	//harmony:guardedby(lock) // want `//harmony:guardedby\(lock\) names no field of Bad`
+	v int
+}

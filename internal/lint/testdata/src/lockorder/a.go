@@ -1,0 +1,105 @@
+// Package lockorder exercises the lock-acquisition-order analyzer: two
+// functions taking the same pair of module-identifiable locks in
+// opposite orders form a cycle in the order graph and a potential
+// deadlock.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// Forward takes A then B; Backward takes B then A. The cycle is
+// reported once, at the earliest witness (the nested acquisition here).
+func Forward(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `potential deadlock: inconsistent lock order between lockorder\.A\.mu, lockorder\.B\.mu`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func Backward(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+// lockD acquires D.mu; Outer reaches it through a call while holding
+// C.mu, so the order edge C.mu→D.mu is interprocedural.
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func Outer(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d) // want `potential deadlock: inconsistent lock order between lockorder\.C\.mu, lockorder\.D\.mu`
+	c.mu.Unlock()
+}
+
+func Inverse(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+type E struct{ mu sync.Mutex }
+
+type F struct{ mu sync.Mutex }
+
+// Consistent nesting in one direction only: an edge E.mu→F.mu with no
+// reverse edge is no cycle and stays silent.
+func NestedOnce(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func NestedAgain(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// Sequential (non-nested) acquisition in opposite orders is fine: the
+// first lock is released before the second is taken, so no order edge
+// forms in either direction.
+func SeqForward(a *A, b *B) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func SeqBackward(a *A, b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// Branch-released: on the path where the branch released a.mu early,
+// taking b.mu is unordered — but the other path still holds it, and the
+// may-analysis keeps the edge. Pinned here as an ordered pair with E/F
+// (no reverse edge), so it stays silent; the point is that the solver
+// merges branch facts instead of crashing or double-reporting.
+func BranchRelease(e *E, f *F, early bool) {
+	e.mu.Lock()
+	if early {
+		e.mu.Unlock()
+	}
+	f.mu.Lock()
+	f.mu.Unlock()
+	if !early {
+		e.mu.Unlock()
+	}
+}

@@ -66,10 +66,14 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram accumulates observations into fixed cumulative buckets.
 type Histogram struct {
-	mu      sync.Mutex
-	bounds  []float64 // upper bounds, ascending; +Inf implicit
-	counts  []uint64  // len(bounds)+1, last is the +Inf bucket
-	sum     float64
+	mu sync.Mutex
+	//harmony:guardedby(mu)
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	//harmony:guardedby(mu)
+	counts []uint64 // len(bounds)+1, last is the +Inf bucket
+	//harmony:guardedby(mu)
+	sum float64
+	//harmony:guardedby(mu)
 	samples uint64
 }
 
@@ -121,14 +125,17 @@ type metric struct {
 
 // vec is a label-value-indexed family of scalar children.
 type vec struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	//harmony:guardedby(mu)
 	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	//harmony:guardedby(mu)
+	gauges map[string]*Gauge
 }
 
 // Registry holds metric families and renders them as Prometheus text.
 type Registry struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	//harmony:guardedby(mu)
 	families map[string]*metric
 }
 
@@ -137,9 +144,11 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*metric)}
 }
 
-func (r *Registry) register(name, help, kind string) *metric {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// lookupLocked finds or creates the family. Callers hold r.mu — the
+// child-metric lazy init must happen under the same critical section as
+// the family lookup, or two concurrent registrations of the same name
+// could each hand out a different child and split its increments.
+func (r *Registry) lookupLocked(name, help, kind string) *metric {
 	if m, ok := r.families[name]; ok {
 		if m.kind != kind {
 			panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", name, kind, m.kind))
@@ -153,7 +162,9 @@ func (r *Registry) register(name, help, kind string) *metric {
 
 // Counter registers (or returns the existing) counter with the name.
 func (r *Registry) Counter(name, help string) *Counter {
-	m := r.register(name, help, "counter")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookupLocked(name, help, "counter")
 	if m.counter == nil {
 		m.counter = &Counter{}
 	}
@@ -162,7 +173,9 @@ func (r *Registry) Counter(name, help string) *Counter {
 
 // Gauge registers (or returns the existing) gauge with the name.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	m := r.register(name, help, "gauge")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookupLocked(name, help, "gauge")
 	if m.gauge == nil {
 		m.gauge = &Gauge{}
 	}
@@ -172,7 +185,9 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // Histogram registers a histogram with the given bucket upper bounds
 // (DefBuckets when nil).
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
-	m := r.register(name, help, "histogram")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookupLocked(name, help, "histogram")
 	if m.hist == nil {
 		m.hist = newHistogram(buckets)
 	}
@@ -181,7 +196,9 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 
 // CounterVec registers a counter family keyed by one label.
 func (r *Registry) CounterVec(name, help, labelName string) *CounterVec {
-	m := r.register(name, help, "counter")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookupLocked(name, help, "counter")
 	if m.vec == nil {
 		m.vec = &vec{counters: make(map[string]*Counter)}
 		m.labelName = labelName
@@ -191,7 +208,9 @@ func (r *Registry) CounterVec(name, help, labelName string) *CounterVec {
 
 // GaugeVec registers a gauge family keyed by one label.
 func (r *Registry) GaugeVec(name, help, labelName string) *GaugeVec {
-	m := r.register(name, help, "gauge")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookupLocked(name, help, "gauge")
 	if m.vec == nil {
 		m.vec = &vec{gauges: make(map[string]*Gauge)}
 		m.labelName = labelName

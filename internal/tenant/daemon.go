@@ -110,5 +110,8 @@ loop:
 		return fmt.Errorf("tenant: shutdown: %w", err)
 	}
 	<-serveErr // http.ErrServerClosed
+	// With the listener drained nothing can enqueue anymore; stop the
+	// per-tenant ingest workers so no goroutine outlives Run.
+	d.srv.Close()
 	return nil
 }

@@ -54,12 +54,17 @@ type Group struct {
 	price      float64   // $/kWh
 	periodH    float64   // hours of model time per period
 
-	mu         sync.Mutex
+	mu sync.Mutex
+	//harmony:guardedby(mu)
 	prevActive []int
-	ticks      uint64
+	//harmony:guardedby(mu)
+	ticks uint64
+	//harmony:guardedby(mu)
 	violations uint64
-	cost       float64
-	lastPlan   *daemon.Plan
+	//harmony:guardedby(mu)
+	cost float64
+	//harmony:guardedby(mu)
+	lastPlan *daemon.Plan
 }
 
 // Name returns the group's deterministic identifier ("g0", "g1", ...).
@@ -81,13 +86,19 @@ type tenantState struct {
 	group   *Group
 	labeler *classify.Labeler
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	//harmony:guardedby(mu)
 	ingested uint64
-	invalid  uint64
+	//harmony:guardedby(mu)
+	invalid uint64
+	//harmony:guardedby(mu)
 	rejected uint64 // queue-full rejections, recorded by the server
-	byClass  map[string]uint64
-	window   uint64 // tasks since the group's last tick (cost attribution)
-	cost     float64
+	//harmony:guardedby(mu)
+	byClass map[string]uint64
+	//harmony:guardedby(mu)
+	window uint64 // tasks since the group's last tick (cost attribution)
+	//harmony:guardedby(mu)
+	cost float64
 }
 
 // Multi owns N tenants and their provisioning groups. Ingest may be called

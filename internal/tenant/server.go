@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -73,6 +74,8 @@ type Server struct {
 	// add-then-check with rollback so concurrent producers cannot
 	// overshoot GlobalQueueCap.
 	globalDepth atomic.Int64
+	workers     sync.WaitGroup
+	closeOnce   sync.Once
 
 	mRejected   *metrics.Counter
 	mIngestErrs *metrics.Counter
@@ -122,10 +125,24 @@ func NewServer(m *Multi, cfg ServerConfig) *Server {
 	})
 	if cfg.startWorkers == nil || *cfg.startWorkers {
 		for _, q := range s.ordered {
+			s.workers.Add(1)
 			go s.ingestWorker(q)
 		}
 	}
 	return s
+}
+
+// Close shuts down the ingest pipeline: every tenant queue is closed so
+// its worker drains what was admitted and exits. Callers must stop the
+// HTTP server first — an enqueue racing Close would send on a closed
+// queue. Close is idempotent and blocks until all workers have exited.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		for _, q := range s.ordered {
+			close(q.queue)
+		}
+		s.workers.Wait()
+	})
 }
 
 // ServeHTTP implements http.Handler with panic recovery around the mux.
@@ -140,8 +157,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// ingestWorker drains one tenant's queue into its group engine.
+// ingestWorker drains one tenant's queue into its group engine until
+// Close closes the queue.
 func (s *Server) ingestWorker(q *tenantQueue) {
+	defer s.workers.Done()
 	for item := range q.queue {
 		if item.barrier != nil {
 			close(item.barrier)
