@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-baseline check
+.PHONY: build vet lint test race bench bench-baseline sim-scale-baseline check
 
 build:
 	$(GO) build ./...
@@ -32,5 +32,11 @@ bench:
 # the result whenever the control path changes materially.
 bench-baseline:
 	$(GO) run ./cmd/harmony-bench -benchjson BENCH_control_path.json
+
+# Re-run the 1M+-task streaming simulation and overwrite the tracked
+# scale baseline (BENCH_sim_scale.json): throughput, allocation per
+# task, and the live-heap peak of a full-cluster streamed run.
+sim-scale-baseline:
+	$(GO) run ./cmd/harmony-bench -simscale-json BENCH_sim_scale.json -hours 13 -rate 10.1 -scale 1
 
 check: build lint race bench

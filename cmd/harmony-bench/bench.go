@@ -88,20 +88,33 @@ func measureOp(op harmony.ControlPathOp, target time.Duration) (benchRecord, err
 }
 
 // checkBenchJSON validates a recorded baseline without re-running the
-// benchmarks: the schema tag, record plausibility, and that the recorded
-// op set matches the code's current op set, so a stale baseline fails CI
-// instead of silently tracking operations that no longer exist.
+// benchmarks. It dispatches on the file's schema tag: control-path
+// baselines get their op set checked against the code's current op set,
+// sim-scale baselines against the fixed scale-metric set — either way a
+// stale baseline fails CI instead of silently tracking operations that
+// no longer exist.
 func checkBenchJSON(path string, out io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("benchjson-check: %w (record with -benchjson)", err)
 	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return fmt.Errorf("benchjson-check: %s: %w", path, err)
+	}
+	switch head.Schema {
+	case benchSchema:
+	case simScaleSchema:
+		return checkSimScaleJSON(data, path, out)
+	default:
+		return fmt.Errorf("benchjson-check: %s: schema %q, want %q or %q",
+			path, head.Schema, benchSchema, simScaleSchema)
+	}
 	var file benchFile
 	if err := json.Unmarshal(data, &file); err != nil {
 		return fmt.Errorf("benchjson-check: %s: %w", path, err)
-	}
-	if file.Schema != benchSchema {
-		return fmt.Errorf("benchjson-check: %s: schema %q, want %q", path, file.Schema, benchSchema)
 	}
 	want := harmony.ControlPathOpNames()
 	known := make(map[string]bool, len(want))

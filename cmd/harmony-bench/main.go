@@ -48,8 +48,11 @@ func run(args []string, out io.Writer) error {
 		benchJSON  = fs.String("benchjson", "", "measure the control-path micro-benchmarks and write the baseline JSON to this path")
 		benchCheck = fs.String("benchjson-check", "", "validate a recorded control-path baseline (schema + op set) without re-benchmarking")
 		benchMS    = fs.Int("bench-ms", 200, "per-op measurement budget for -benchjson, in milliseconds")
-		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this path")
-		memprofile = fs.String("memprofile", "", "write a heap profile at the end of the run to this path")
+
+		simScaleJSON = fs.String("simscale-json", "", "run one streaming simulation (at -seed/-hours/-rate/-scale) and write its scale baseline JSON to this path")
+		simScalePol  = fs.String("simscale-policy", "baseline", "policy for -simscale-json: baseline | always-on")
+		cpuprofile   = fs.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memprofile   = fs.String("memprofile", "", "write a heap profile at the end of the run to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +86,9 @@ func run(args []string, out io.Writer) error {
 		}
 		if *benchJSON != "" {
 			return writeBenchJSON(*benchJSON, *benchMS, out)
+		}
+		if *simScaleJSON != "" {
+			return writeSimScaleJSON(*simScaleJSON, *seed, *hours, *rate, *scale, *simScalePol, out)
 		}
 		return runExperiments(out, *exp, *list, *seed, *hours, *rate, *scale,
 			*cluster, *full, *epsilon, *parallel, *golden, *goldenDir)

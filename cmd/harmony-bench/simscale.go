@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"harmony"
+)
+
+// simScaleSchema identifies the streaming-simulation scale baseline; it
+// coexists with the control-path schema in checkBenchJSON, which
+// dispatches on the schema tag.
+const simScaleSchema = "harmony/sim-scale-bench/v1"
+
+// simScaleOps is the exact op set a sim-scale baseline must carry.
+var simScaleOps = []string{"tasks-per-sec", "bytes-per-task", "peak-heap-bytes"}
+
+// simScaleMetric is one recorded scale measurement.
+type simScaleMetric struct {
+	Op    string  `json:"op"`
+	Value float64 `json:"value"`
+}
+
+// simScaleFile is the on-disk shape of BENCH_sim_scale.json. Config
+// records how the run was produced, Tasks how many tasks streamed
+// through — the committed baseline demonstrates a 1M+-task run with
+// bounded memory.
+type simScaleFile struct {
+	Schema string `json:"schema"`
+	Config struct {
+		Seed   int64   `json:"seed"`
+		Hours  float64 `json:"hours"`
+		Rate   float64 `json:"rate"`
+		Scale  int     `json:"scale"`
+		Policy string  `json:"policy"`
+	} `json:"config"`
+	Tasks   int64            `json:"tasks"`
+	Metrics []simScaleMetric `json:"metrics"`
+}
+
+// writeSimScaleJSON runs one streaming simulation at the given workload
+// parameters and records its scale profile: throughput, allocation per
+// task, and the sampled live-heap peak (an RSS proxy). The trace is
+// never materialized, so the run's memory is O(live tasks + machines).
+func writeSimScaleJSON(path string, seed int64, hours, rate float64, scale int, policyName string, out io.Writer) error {
+	var policy harmony.Policy
+	switch policyName {
+	case "baseline":
+		policy = harmony.PolicyBaseline
+	case "always-on":
+		policy = harmony.PolicyAlwaysOn
+	default:
+		return fmt.Errorf("simscale-json: policy %q (characterization-free policies only: baseline | always-on)", policyName)
+	}
+	fmt.Fprintf(out, "simscale: streaming %.1fh at %.2f tasks/s (cluster scale %d, %s)...\n",
+		hours, rate, scale, policyName)
+	_, metrics, err := harmony.SimulateStream(harmony.StreamConfig{
+		Workload: harmony.WorkloadConfig{
+			Seed:           seed,
+			Hours:          hours,
+			TasksPerSecond: rate,
+			Cluster:        harmony.ClusterTableII,
+			ClusterScale:   scale,
+		},
+	}, nil, harmony.SimulationConfig{Policy: policy})
+	if err != nil {
+		return fmt.Errorf("simscale-json: %w", err)
+	}
+
+	var file simScaleFile
+	file.Schema = simScaleSchema
+	file.Config.Seed = seed
+	file.Config.Hours = hours
+	file.Config.Rate = rate
+	file.Config.Scale = scale
+	file.Config.Policy = policyName
+	file.Tasks = metrics.Tasks
+	file.Metrics = []simScaleMetric{
+		{Op: "tasks-per-sec", Value: metrics.TasksPerSecond},
+		{Op: "bytes-per-task", Value: metrics.BytesPerTask},
+		{Op: "peak-heap-bytes", Value: float64(metrics.PeakHeapBytes)},
+	}
+	for _, m := range file.Metrics {
+		fmt.Fprintf(out, "simscale: %-16s %16.0f\n", m.Op, m.Value)
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("simscale-json: %w", err)
+	}
+	fmt.Fprintf(out, "simscale: wrote %s (%d tasks)\n", path, file.Tasks)
+	return nil
+}
+
+// checkSimScaleJSON validates a recorded sim-scale baseline: the exact
+// op set, once each, with plausible values.
+func checkSimScaleJSON(data []byte, path string, out io.Writer) error {
+	var file simScaleFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("benchjson-check: %s: %w", path, err)
+	}
+	if file.Tasks < 1 {
+		return fmt.Errorf("benchjson-check: %s: implausible task count %d", path, file.Tasks)
+	}
+	known := make(map[string]bool, len(simScaleOps))
+	for _, op := range simScaleOps {
+		known[op] = true
+	}
+	seen := make(map[string]bool, len(file.Metrics))
+	for _, m := range file.Metrics {
+		if !known[m.Op] {
+			return fmt.Errorf("benchjson-check: %s: unknown op %q (regenerate with make sim-scale-baseline)", path, m.Op)
+		}
+		if seen[m.Op] {
+			return fmt.Errorf("benchjson-check: %s: duplicate op %q", path, m.Op)
+		}
+		seen[m.Op] = true
+		if m.Value <= 0 {
+			return fmt.Errorf("benchjson-check: %s: op %q has implausible value %g", path, m.Op, m.Value)
+		}
+	}
+	for _, op := range simScaleOps {
+		if !seen[op] {
+			return fmt.Errorf("benchjson-check: %s: missing op %q (regenerate with make sim-scale-baseline)", path, op)
+		}
+	}
+	fmt.Fprintf(out, "benchjson: %s ok (sim-scale, %d tasks)\n", path, file.Tasks)
+	return nil
+}

@@ -35,6 +35,13 @@ func run(args []string, out io.Writer) error {
 		omega   = fs.Float64("omega", 1, "over-provisioning factor")
 		diurnal = fs.Bool("diurnal-price", false, "use a sinusoidal daily electricity price")
 		series  = fs.Bool("series", false, "also print the active-machine time series")
+
+		stream = fs.Bool("stream", false, "stream the generated workload through the simulator "+
+			"(constant memory; incompatible with -trace)")
+		delaySamples = fs.Int("delay-samples", 0, "streaming mode: per-group delay-CDF reservoir size "+
+			"(0 = default 100000, negative = exact)")
+		sampleHours = fs.Float64("sample-hours", 2, "streaming mode: hours of materialized sample to characterize for cbs/cbp")
+		maxHeapMB   = fs.Float64("max-heap-mb", 0, "fail if the sampled peak heap exceeds this many MiB (0 = no cap)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +59,18 @@ func run(args []string, out io.Writer) error {
 		p = harmony.PolicyAlwaysOn
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	if *stream {
+		if *traceIn != "" {
+			return fmt.Errorf("-stream generates its workload; it cannot be combined with -trace")
+		}
+		return runStream(out, p, streamParams{
+			seed: *seed, hours: *hours, rate: *rate, scale: *scale,
+			period: *period, horizon: *horizon, epsilon: *epsilon, omega: *omega,
+			diurnal: *diurnal, delaySamples: *delaySamples,
+			sampleHours: *sampleHours, maxHeapMB: *maxHeapMB,
+		})
 	}
 
 	var (
@@ -96,6 +115,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	printResults(out, res, *series)
+	return nil
+}
+
+func printResults(out io.Writer, res *harmony.SimulationResult, series bool) {
 	fmt.Fprintf(out, "\n%s results:\n", res.Policy)
 	fmt.Fprintf(out, "  energy:        %.2f kWh ($%.2f)\n", res.EnergyKWh, res.EnergyCost)
 	fmt.Fprintf(out, "  switching:     %d events ($%.2f)\n", res.SwitchEvents, res.SwitchCost)
@@ -104,9 +128,80 @@ func run(args []string, out io.Writer) error {
 	for _, g := range harmony.Groups() {
 		fmt.Fprintf(out, "  %-10s mean delay %8.1f s\n", g, res.MeanDelaySeconds[g])
 	}
-	if *series {
+	if series {
 		fmt.Fprintln(out)
 		fmt.Fprint(out, res.ActiveMachines.Render())
+	}
+}
+
+type streamParams struct {
+	seed           int64
+	hours, rate    float64
+	scale          int
+	period         float64
+	horizon        int
+	epsilon, omega float64
+	diurnal        bool
+	delaySamples   int
+	sampleHours    float64
+	maxHeapMB      float64
+}
+
+// runStream runs the streaming entry point: the workload flows through
+// the simulator chunk by chunk, so the full trace is never in memory.
+// The HARMONY policies still need a characterization, which comes from
+// a short materialized sample of the same workload.
+func runStream(out io.Writer, p harmony.Policy, sp streamParams) error {
+	wcfg := harmony.WorkloadConfig{
+		Seed:           sp.seed,
+		Hours:          sp.hours,
+		TasksPerSecond: sp.rate,
+		Cluster:        harmony.ClusterTableII,
+		ClusterScale:   sp.scale,
+	}
+
+	var ch *harmony.Characterization
+	if p == harmony.PolicyCBS || p == harmony.PolicyCBP {
+		sampleCfg := wcfg
+		if sp.sampleHours > 0 && sp.sampleHours < sampleCfg.Hours {
+			sampleCfg.Hours = sp.sampleHours
+		}
+		sample, err := harmony.GenerateWorkload(sampleCfg)
+		if err != nil {
+			return err
+		}
+		ch, err = sample.Characterize(harmony.CharacterizeConfig{Seed: sp.seed})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "characterization (%.1fh sample): %d classes, %d task types\n",
+			sampleCfg.Hours, len(ch.Classes()), ch.NumTaskTypes())
+	}
+
+	res, metrics, err := harmony.SimulateStream(harmony.StreamConfig{
+		Workload:        wcfg,
+		MaxDelaySamples: sp.delaySamples,
+	}, ch, harmony.SimulationConfig{
+		Policy:        p,
+		PeriodSeconds: sp.period,
+		Horizon:       sp.horizon,
+		Epsilon:       sp.epsilon,
+		Omega:         sp.omega,
+		DiurnalPrice:  sp.diurnal,
+	})
+	if err != nil {
+		return err
+	}
+
+	printResults(out, res, false)
+	peakMB := float64(metrics.PeakHeapBytes) / (1 << 20)
+	fmt.Fprintf(out, "\nscale metrics (streamed):\n")
+	fmt.Fprintf(out, "  tasks:         %d\n", metrics.Tasks)
+	fmt.Fprintf(out, "  wall time:     %.2f s (%.0f tasks/s)\n", metrics.WallSeconds, metrics.TasksPerSecond)
+	fmt.Fprintf(out, "  allocation:    %.0f bytes/task\n", metrics.BytesPerTask)
+	fmt.Fprintf(out, "  peak heap:     %.1f MiB\n", peakMB)
+	if sp.maxHeapMB > 0 && peakMB > sp.maxHeapMB {
+		return fmt.Errorf("peak heap %.1f MiB exceeds cap %.1f MiB", peakMB, sp.maxHeapMB)
 	}
 	return nil
 }

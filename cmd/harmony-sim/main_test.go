@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"strings"
 	"testing"
@@ -16,6 +17,9 @@ func TestRunFlagErrors(t *testing.T) {
 		{"non-numeric rate", []string{"-rate", "fast"}, "invalid value"},
 		{"undefined flag", []string{"-bogus"}, "flag provided but not defined"},
 		{"missing trace file", []string{"-trace", "/nonexistent/trace.jsonl"}, "no such file"},
+		{"stream with trace", []string{"-stream", "-trace", "x.jsonl"}, "cannot be combined"},
+		{"heap cap exceeded", []string{"-stream", "-hours", "0.5", "-rate", "0.5", "-scale", "100",
+			"-policy", "baseline", "-max-heap-mb", "0.001"}, "exceeds cap"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -27,5 +31,38 @@ func TestRunFlagErrors(t *testing.T) {
 				t.Errorf("run(%v) error = %q, want substring %q", tt.args, err, tt.want)
 			}
 		})
+	}
+}
+
+// TestRunStreamMode exercises the streaming path end to end, including
+// the scale-metrics report and a generous heap cap.
+func TestRunStreamMode(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-stream", "-hours", "1", "-rate", "1", "-scale", "100",
+		"-policy", "baseline", "-max-heap-mb", "512"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	for _, want := range []string{"baseline results:", "scale metrics (streamed):", "tasks:", "peak heap:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stream output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunStreamCBS covers the sample-characterization path for the
+// HARMONY policies in streaming mode.
+func TestRunStreamCBS(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-stream", "-hours", "1.5", "-sample-hours", "1", "-rate", "0.5",
+		"-scale", "100", "-policy", "cbs"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if !strings.Contains(out.String(), "characterization (1.0h sample):") {
+		t.Errorf("missing sample characterization line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "harmony-CBS results:") {
+		t.Errorf("missing CBS results:\n%s", out.String())
 	}
 }

@@ -1,75 +1,119 @@
 // Command tracegen generates a synthetic Google-like workload trace
-// (Section III statistics) and writes it as a JSON-lines stream, or prints
-// summary statistics about an existing trace file.
+// (Section III statistics) and writes it as a JSON-lines or CSV stream,
+// or prints summary statistics about an existing trace file. With
+// -stream the trace is generated and written chunk by chunk, so a
+// 25M-task Google-scale month never lives in memory.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"harmony/internal/trace"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	var (
-		seed     = flag.Int64("seed", 1, "RNG seed")
-		hours    = flag.Float64("hours", 24, "trace length in hours")
-		rate     = flag.Float64("rate", 1.0, "mean task arrival rate (tasks/second)")
-		machines = flag.Int("machines", 1200, "approximate machine population")
-		out      = flag.String("o", "", "output file (default stdout)")
-		format   = flag.String("format", "jsonl", "output format: jsonl | csv")
-		inspect  = flag.String("inspect", "", "print statistics of an existing trace file instead of generating")
+		seed     = fs.Int64("seed", 1, "RNG seed")
+		hours    = fs.Float64("hours", 24, "trace length in hours")
+		rate     = fs.Float64("rate", 1.0, "mean task arrival rate (tasks/second)")
+		machines = fs.Int("machines", 1200, "approximate machine population")
+		scale    = fs.Int("scale", 0, "Google-scale divisor: machines = 12000/scale, rate = 10.14/scale (overrides -machines and -rate)")
+		outPath  = fs.String("o", "", "output file (default stdout)")
+		format   = fs.String("format", "jsonl", "output format: jsonl | csv")
+		stream   = fs.Bool("stream", false, "generate and write chunk by chunk (constant memory)")
+		chunk    = fs.Int("chunk", 4096, "streaming chunk size in tasks")
+		inspect  = fs.String("inspect", "", "print statistics of an existing trace file instead of generating")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *inspect != "" {
-		return inspectTrace(*inspect)
+		return inspectTrace(*inspect, out)
+	}
+
+	if *scale > 0 {
+		// The Google trace: 12 000 machines, 25.4M tasks over 29 days
+		// (≈10.14 tasks/s). -scale N keeps the shape at 1/N the size.
+		*machines = 12000 / *scale
+		if *machines < 1 {
+			*machines = 1
+		}
+		*rate = 10.14 / float64(*scale)
 	}
 
 	cfg := trace.DefaultConfig(*seed)
 	cfg.Horizon = *hours * trace.Hour
 	cfg.RatePerS = *rate
 	cfg.Machines = trace.GoogleLikeMachines(*machines)
-	tr, err := trace.Generate(cfg)
-	if err != nil {
-		return err
-	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	switch *format {
-	case "jsonl":
-		if err := trace.Write(w, tr); err != nil {
+
+	var (
+		nTasks      int64
+		nMachines   int
+		horizonHrs  float64
+		writeChunks = func(src trace.TaskSource) (int64, error) {
+			switch *format {
+			case "jsonl":
+				return trace.WriteStream(w, src)
+			case "csv":
+				return trace.WriteCSVStream(w, src)
+			default:
+				return 0, fmt.Errorf("unknown format %q", *format)
+			}
+		}
+	)
+	if *stream {
+		src, err := trace.NewGenSource(cfg, *chunk)
+		if err != nil {
 			return err
 		}
-	case "csv":
-		if err := trace.WriteCSV(w, tr); err != nil {
+		n, err := writeChunks(src)
+		if err != nil {
 			return err
 		}
-	default:
-		return fmt.Errorf("unknown format %q", *format)
+		m := src.Meta()
+		for _, mt := range m.Machines {
+			nMachines += mt.Count
+		}
+		nTasks, horizonHrs = n, m.Horizon/trace.Hour
+	} else {
+		tr, err := trace.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		n, err := writeChunks(trace.NewSliceSource(tr))
+		if err != nil {
+			return err
+		}
+		nTasks, nMachines, horizonHrs = n, tr.TotalMachines(), tr.Horizon/trace.Hour
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: %d tasks, %d machines, %.1f hours\n",
-		len(tr.Tasks), tr.TotalMachines(), tr.Horizon/trace.Hour)
+		nTasks, nMachines, horizonHrs)
 	return nil
 }
 
-func inspectTrace(path string) error {
+func inspectTrace(path string, out io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -82,16 +126,16 @@ func inspectTrace(path string) error {
 	if err := tr.Validate(); err != nil {
 		return fmt.Errorf("trace invalid: %w", err)
 	}
-	fmt.Printf("tasks:    %d\n", len(tr.Tasks))
-	fmt.Printf("machines: %d (%d types)\n", tr.TotalMachines(), len(tr.Machines))
-	fmt.Printf("horizon:  %.1f hours\n", tr.Horizon/trace.Hour)
+	fmt.Fprintf(out, "tasks:    %d\n", len(tr.Tasks))
+	fmt.Fprintf(out, "machines: %d (%d types)\n", tr.TotalMachines(), len(tr.Machines))
+	fmt.Fprintf(out, "horizon:  %.1f hours\n", tr.Horizon/trace.Hour)
 	counts := trace.GroupCounts(tr)
 	for _, g := range trace.Groups() {
-		fmt.Printf("  %-10s %8d tasks (%.1f%%)\n",
+		fmt.Fprintf(out, "  %-10s %8d tasks (%.1f%%)\n",
 			g, counts[g], 100*float64(counts[g])/float64(len(tr.Tasks)))
 	}
 	for _, h := range trace.MachineHeterogeneity(tr) {
-		fmt.Printf("  type %2d %-6s cpu %.3f mem %.3f count %5d (%.1f%%)\n",
+		fmt.Fprintf(out, "  type %2d %-6s cpu %.3f mem %.3f count %5d (%.1f%%)\n",
 			h.Type.ID, h.Type.Platform, h.Type.CPU, h.Type.Mem, h.Type.Count, 100*h.Fraction)
 	}
 	return nil

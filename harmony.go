@@ -127,6 +127,31 @@ func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) {
 		cfg.Cluster = ClusterTableII
 	}
 
+	machines, models, err := clusterPopulation(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	genCfg := trace.DefaultConfig(cfg.Seed)
+	genCfg.Horizon = cfg.Hours * trace.Hour
+	genCfg.RatePerS = cfg.TasksPerSecond
+	genCfg.Machines = machines
+	tr, err := trace.Generate(genCfg)
+	if err != nil {
+		return nil, fmt.Errorf("harmony: generate workload: %w", err)
+	}
+	return &Workload{Trace: tr, Models: models}, nil
+}
+
+// clusterPopulation resolves a workload config's cluster selection into
+// a machine population and matching energy models.
+func clusterPopulation(cfg WorkloadConfig) ([]trace.MachineType, []energy.Model, error) {
+	if cfg.ClusterScale <= 0 {
+		cfg.ClusterScale = 1
+	}
+	if cfg.Cluster == 0 {
+		cfg.Cluster = ClusterTableII
+	}
 	var (
 		machines []trace.MachineType
 		models   []energy.Model
@@ -145,18 +170,9 @@ func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) {
 		machines = trace.GoogleLikeMachines(12000 / cfg.ClusterScale)
 		models = energy.SyntheticModels(machines)
 	default:
-		return nil, fmt.Errorf("harmony: unknown cluster %d", int(cfg.Cluster))
+		return nil, nil, fmt.Errorf("harmony: unknown cluster %d", int(cfg.Cluster))
 	}
-
-	genCfg := trace.DefaultConfig(cfg.Seed)
-	genCfg.Horizon = cfg.Hours * trace.Hour
-	genCfg.RatePerS = cfg.TasksPerSecond
-	genCfg.Machines = machines
-	tr, err := trace.Generate(genCfg)
-	if err != nil {
-		return nil, fmt.Errorf("harmony: generate workload: %w", err)
-	}
-	return &Workload{Trace: tr, Models: models}, nil
+	return machines, models, nil
 }
 
 // LoadWorkload reads a workload from a trace file produced by
@@ -416,15 +432,23 @@ func runRawSim(w *Workload, cfg SimulationConfig, counts []int) (*sim.Result, er
 	})
 }
 
-// Simulate runs the workload under the selected policy and returns its
-// measurements. The characterization is required for the HARMONY policies
-// and optional (may be nil) for baseline/always-on.
-func Simulate(w *Workload, c *Characterization, cfg SimulationConfig) (*SimulationResult, error) {
-	cfg.defaults()
-	if w == nil {
-		return nil, errors.New("harmony: nil workload")
-	}
+// policySetup bundles everything a sim.Config needs beyond the task
+// stream itself: the price model, per-type switch costs, the task-type
+// mapping, and the constructed policy. It is shared between the batch
+// (Simulate) and streaming (SimulateStream) entry points.
+type policySetup struct {
+	price      energy.Price
+	switchCost []float64
+	numTypes   int
+	typeOf     func(trace.Task) int
+	relabel    func(int, float64) int
+	policy     sim.Policy
+	harmony    *sched.Harmony
+}
 
+// buildPolicySetup constructs the policy plumbing for a machine
+// population. cfg must already have defaults applied.
+func buildPolicySetup(machines []trace.MachineType, models []energy.Model, c *Characterization, cfg SimulationConfig) (*policySetup, error) {
 	var price energy.Price = energy.FlatPrice(cfg.PricePerKWh)
 	if cfg.DiurnalPrice {
 		price = energy.DiurnalPrice{Base: cfg.PricePerKWh, Amplitude: cfg.PricePerKWh / 3, PhaseHour: 4}
@@ -433,13 +457,13 @@ func Simulate(w *Workload, c *Characterization, cfg SimulationConfig) (*Simulati
 	// Per-type switch costs scale with idle power relative to the
 	// largest machine.
 	maxIdle := 0.0
-	for _, m := range w.Models {
+	for _, m := range models {
 		if m.IdleWatts > maxIdle {
 			maxIdle = m.IdleWatts
 		}
 	}
-	switchCost := make([]float64, len(w.Models))
-	for i, m := range w.Models {
+	switchCost := make([]float64, len(models))
+	for i, m := range models {
 		switchCost[i] = cfg.SwitchCostDollars * m.IdleWatts / maxIdle
 	}
 
@@ -484,15 +508,15 @@ func Simulate(w *Workload, c *Characterization, cfg SimulationConfig) (*Simulati
 	var policy sim.Policy
 	switch cfg.Policy {
 	case PolicyAlwaysOn:
-		counts := make([]int, len(w.Trace.Machines))
-		for i, mt := range w.Trace.Machines {
+		counts := make([]int, len(machines))
+		for i, mt := range machines {
 			counts[i] = mt.Count
 		}
 		policy = &sched.AlwaysOn{Counts: counts}
 	case PolicyBaseline:
 		policy = &sched.Baseline{
-			Machines:    w.Trace.Machines,
-			Models:      w.Models,
+			Machines:    machines,
+			Models:      models,
 			Utilization: cfg.BaselineUtilization,
 		}
 	case PolicyCBS, PolicyCBP:
@@ -519,8 +543,8 @@ func Simulate(w *Workload, c *Characterization, cfg SimulationConfig) (*Simulati
 		types := c.ch.TaskTypes()
 		h, err := sched.NewHarmony(sched.HarmonyConfig{
 			Mode:          mode,
-			Machines:      w.Trace.Machines,
-			Models:        w.Models,
+			Machines:      machines,
+			Models:        models,
 			Types:         types,
 			Price:         price,
 			PeriodSeconds: cfg.PeriodSeconds,
@@ -539,27 +563,54 @@ func Simulate(w *Workload, c *Characterization, cfg SimulationConfig) (*Simulati
 	default:
 		return nil, fmt.Errorf("harmony: unknown policy %d", int(cfg.Policy))
 	}
+	return &policySetup{
+		price:      price,
+		switchCost: switchCost,
+		numTypes:   numTypes,
+		typeOf:     typeOf,
+		relabel:    relabel,
+		policy:     policy,
+		harmony:    harmonyPolicy,
+	}, nil
+}
+
+// Simulate runs the workload under the selected policy and returns its
+// measurements. The characterization is required for the HARMONY policies
+// and optional (may be nil) for baseline/always-on.
+func Simulate(w *Workload, c *Characterization, cfg SimulationConfig) (*SimulationResult, error) {
+	cfg.defaults()
+	if w == nil {
+		return nil, errors.New("harmony: nil workload")
+	}
+	setup, err := buildPolicySetup(w.Trace.Machines, w.Models, c, cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	res, err := sim.Run(sim.Config{
 		Trace:      w.Trace,
 		Models:     w.Models,
-		Price:      price,
-		Policy:     policy,
+		Price:      setup.price,
+		Policy:     setup.policy,
 		Period:     cfg.PeriodSeconds,
-		NumTypes:   numTypes,
-		TypeOf:     typeOf,
-		Relabel:    relabel,
-		SwitchCost: switchCost,
+		NumTypes:   setup.numTypes,
+		TypeOf:     setup.typeOf,
+		Relabel:    setup.relabel,
+		SwitchCost: setup.switchCost,
 		BootDelay:  cfg.BootDelaySeconds,
 		MTBFHours:  cfg.MTBFHours,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harmony: simulate %v: %w", cfg.Policy, err)
 	}
-	if harmonyPolicy != nil && harmonyPolicy.Err() != nil {
-		return nil, fmt.Errorf("harmony: policy error: %w", harmonyPolicy.Err())
+	if setup.harmony != nil && setup.harmony.Err() != nil {
+		return nil, fmt.Errorf("harmony: policy error: %w", setup.harmony.Err())
 	}
+	return buildResult(res, setup.harmony), nil
+}
 
+// buildResult converts a raw sim.Result into the public view.
+func buildResult(res *sim.Result, harmonyPolicy *sched.Harmony) *SimulationResult {
 	out := &SimulationResult{
 		Policy:           res.Policy,
 		EnergyKWh:        res.EnergyKWh,
@@ -589,5 +640,5 @@ func Simulate(w *Workload, c *Characterization, cfg SimulationConfig) (*Simulati
 			out.Containers[g] = fromStatsSeries(s)
 		}
 	}
-	return out, nil
+	return out
 }

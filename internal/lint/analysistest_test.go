@@ -165,7 +165,7 @@ func TestScopes(t *testing.T) {
 		{NoDeterm, "harmony/internal/forecast", true},
 		{NoDeterm, "harmony/internal/classify", true},
 		{NoDeterm, "harmony/internal/kmeans", true},
-		{NoDeterm, "harmony/internal/trace", false},
+		{NoDeterm, "harmony/internal/trace", true},
 		{RNGDiscipline, "harmony/internal/stats", false},
 		{RNGDiscipline, "harmony/internal/trace", true},
 		{DeferClose, "harmony/internal/daemon", true},

@@ -40,6 +40,8 @@ func goleakCovered(pkgPath, filename string) bool {
 		return base == "parallel.go"
 	case "harmony/internal/sim": // the sharded machine audit
 		return base == "parallel.go"
+	case "harmony/internal/trace": // streaming sources are single-goroutine by contract
+		return true
 	case "harmony/internal/core": // the per-type placement fan-out
 		return base == "placement.go"
 	}

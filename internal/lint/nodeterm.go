@@ -7,12 +7,15 @@ import (
 )
 
 // deterministicPkgs are the packages whose behavior must be a pure
-// function of their inputs: the simulator, the control loop and its
-// solvers, and the daemon (whose Replay is the batch reference a streamed
-// trace must reproduce bit-for-bit). cmd/harmonyd is included so its
-// genuinely wall-clock tick loop carries explicit annotations.
+// function of their inputs: the simulator, the trace generator and
+// streaming readers (a seed must reproduce the same task stream in
+// chunked and one-shot modes), the control loop and its solvers, and the
+// daemon (whose Replay is the batch reference a streamed trace must
+// reproduce bit-for-bit). cmd/harmonyd is included so its genuinely
+// wall-clock tick loop carries explicit annotations.
 var deterministicPkgs = map[string]bool{
 	"harmony/internal/sim":      true,
+	"harmony/internal/trace":    true,
 	"harmony/internal/sched":    true,
 	"harmony/internal/core":     true,
 	"harmony/internal/queueing": true,
@@ -59,7 +62,7 @@ var rngConstructors = map[string]bool{
 var NoDeterm = &Analyzer{
 	Name: "nodeterm",
 	Doc: "forbid time.Now, os.Getenv, and global math/rand use in deterministic packages " +
-		"(sim, sched, core, queueing, binpack, kmeans, forecast, classify, daemon, harmonyd)",
+		"(sim, trace, sched, core, queueing, binpack, kmeans, forecast, classify, daemon, harmonyd)",
 	Packages: func(pkgPath string) bool { return deterministicPkgs[pkgPath] },
 	Run:      runNoDeterm,
 }

@@ -6,66 +6,59 @@ import (
 	"sync/atomic"
 )
 
-// machineShardSize fixes the shard width of the per-machine accounting
-// reduce. Shard boundaries depend only on the machine count — never on
-// GOMAXPROCS — and shard partials are combined in shard order, so the
-// audit result is bit-for-bit identical however many workers ran it.
-const machineShardSize = 2048
-
-// machineAudit is the exact per-machine resource accounting computed at
-// each period boundary: the used-machine count and, per machine type,
-// the largest free CPU/memory of any powered machine.
-type machineAudit struct {
-	used    int
-	freeCPU []float64
-	freeMem []float64
-}
-
-// auditMachines scans the whole machine population with a sharded
-// parallel reduce. Each shard reduction is itself order-independent
-// (integer sums and maxima), so the merged result does not depend on
-// worker count or scheduling; under GOMAXPROCS=1 the shards simply run
-// in order on the calling goroutine.
-func (e *engine) auditMachines() machineAudit {
-	nm := len(e.machines)
-	nt := len(e.byType)
-	shards := (nm + machineShardSize - 1) / machineShardSize
-	parts := make([]machineAudit, shards)
-	scan := func(s int) {
-		lo := s * machineShardSize
-		hi := lo + machineShardSize
-		if hi > nm {
-			hi = nm
-		}
-		p := machineAudit{freeCPU: make([]float64, nt), freeMem: make([]float64, nt)}
-		for mi := lo; mi < hi; mi++ {
+// refreshAccounting replaces the incrementally tracked used-machine
+// count and the per-(type, shard) free-capacity pruning bounds with
+// exact values from a full machine scan. The bounds only ever drift
+// loose between refreshes, so tightening them here cannot change
+// placement decisions — a pruned shard is one where every powered
+// machine provably cannot fit the task — but it lets placeInType skip
+// whole shards without scanning.
+//
+// The scan is a sharded parallel reduce over the auditItems built at
+// engine construction: each (machine type, shard) granule is an
+// independent work item that writes the exact free-capacity maxima into
+// the bound slots it exclusively owns, plus a used-count partial into
+// its own auditUsed slot. Nothing is merged across workers, and shard
+// boundaries depend only on the machine population — never on
+// GOMAXPROCS — so the result is bit-for-bit identical however many
+// workers ran it. Under GOMAXPROCS=1 the granules simply run in order
+// on the calling goroutine.
+func (e *engine) refreshAccounting() {
+	items := e.auditItems
+	scan := func(k int) {
+		it := &items[k]
+		mt := e.types[it.ti]
+		var maxCPU, maxMem float64
+		used := 0
+		for mi := it.lo; mi < it.hi; mi++ {
 			m := &e.machines[mi]
 			if m.tasks > 0 {
-				p.used++
+				used++
 			}
 			if !m.on {
 				continue
 			}
 			// Booting machines count: the free-capacity bounds must
-			// stay upper bounds over everything place() scans.
-			mt := e.cfg.Trace.Machines[m.typeIdx]
-			if f := mt.CPU - m.usedCPU; f > p.freeCPU[m.typeIdx] {
-				p.freeCPU[m.typeIdx] = f
+			// stay upper bounds over everything placeInType scans.
+			if f := mt.CPU - m.usedCPU; f > maxCPU {
+				maxCPU = f
 			}
-			if f := mt.Mem - m.usedMem; f > p.freeMem[m.typeIdx] {
-				p.freeMem[m.typeIdx] = f
+			if f := mt.Mem - m.usedMem; f > maxMem {
+				maxMem = f
 			}
 		}
-		parts[s] = p
+		e.freeCPUBound[it.ti][it.shard] = maxCPU
+		e.freeMemBound[it.ti][it.shard] = maxMem
+		e.auditUsed[k] = used
 	}
 
 	workers := runtime.GOMAXPROCS(0)
-	if workers > shards {
-		workers = shards
+	if workers > len(items) {
+		workers = len(items)
 	}
 	if workers <= 1 {
-		for s := range parts {
-			scan(s)
+		for k := range items {
+			scan(k)
 		}
 	} else {
 		var next atomic.Int64
@@ -75,41 +68,20 @@ func (e *engine) auditMachines() machineAudit {
 			go func() {
 				defer wg.Done()
 				for {
-					s := int(next.Add(1)) - 1
-					if s >= shards {
+					k := int(next.Add(1)) - 1
+					if k >= len(items) {
 						return
 					}
-					scan(s)
+					scan(k)
 				}
 			}()
 		}
 		wg.Wait()
 	}
 
-	out := machineAudit{freeCPU: make([]float64, nt), freeMem: make([]float64, nt)}
-	for _, p := range parts {
-		out.used += p.used
-		for ti := 0; ti < nt; ti++ {
-			if p.freeCPU[ti] > out.freeCPU[ti] {
-				out.freeCPU[ti] = p.freeCPU[ti]
-			}
-			if p.freeMem[ti] > out.freeMem[ti] {
-				out.freeMem[ti] = p.freeMem[ti]
-			}
-		}
+	used := 0
+	for _, u := range e.auditUsed {
+		used += u
 	}
-	return out
-}
-
-// refreshAccounting replaces the incrementally tracked used-machine
-// count and free-capacity pruning bounds with exact values from a full
-// machine scan. The bounds only ever drift loose between refreshes, so
-// tightening them here cannot change placement decisions — a pruned
-// machine type is one where every powered machine provably cannot fit
-// the task — but it lets place() skip whole types without scanning.
-func (e *engine) refreshAccounting() {
-	a := e.auditMachines()
-	e.usedCount = a.used
-	copy(e.freeCPUBound, a.freeCPU)
-	copy(e.freeMemBound, a.freeMem)
+	e.usedCount = used
 }

@@ -35,7 +35,7 @@ func bigEngine(t *testing.T) *engine {
 		t.Fatal(err)
 	}
 	cfg.applyDefaults()
-	e := newEngine(cfg)
+	e := newEngine(cfg, trace.NewSliceSource(tr))
 	rng := rand.New(rand.NewSource(7))
 	for mi := range e.machines {
 		m := &e.machines[mi]
@@ -57,30 +57,44 @@ func bigEngine(t *testing.T) *engine {
 	return e
 }
 
-// The sharded audit must agree with a plain sequential scan and be
-// bit-for-bit identical no matter how many workers run it.
+// flatBounds snapshots the per-(type, shard) bounds for comparison.
+func flatBounds(e *engine) (cpu, mem [][]float64) {
+	for ti := range e.freeCPUBound {
+		cpu = append(cpu, append([]float64(nil), e.freeCPUBound[ti]...))
+		mem = append(mem, append([]float64(nil), e.freeMemBound[ti]...))
+	}
+	return cpu, mem
+}
+
+// The sharded audit must agree with a plain sequential per-shard scan
+// and be bit-for-bit identical no matter how many workers run it.
 func TestAuditMachinesDeterministicAcrossWorkers(t *testing.T) {
 	e := bigEngine(t)
 
-	// Reference: straightforward sequential accounting.
-	want := machineAudit{
-		freeCPU: make([]float64, len(e.byType)),
-		freeMem: make([]float64, len(e.byType)),
+	// Reference: straightforward sequential accounting per (type, shard).
+	wantCPU := make([][]float64, len(e.types))
+	wantMem := make([][]float64, len(e.types))
+	for ti := range e.types {
+		wantCPU[ti] = make([]float64, len(e.freeCPUBound[ti]))
+		wantMem[ti] = make([]float64, len(e.freeMemBound[ti]))
 	}
+	wantUsed := 0
 	for mi := range e.machines {
 		m := &e.machines[mi]
 		if m.tasks > 0 {
-			want.used++
+			wantUsed++
 		}
 		if !m.on {
 			continue
 		}
-		mt := e.cfg.Trace.Machines[m.typeIdx]
-		if f := mt.CPU - m.usedCPU; f > want.freeCPU[m.typeIdx] {
-			want.freeCPU[m.typeIdx] = f
+		ti := m.typeIdx
+		s := (mi - e.typeFirst[ti]) / machineShardSize
+		mt := e.types[ti]
+		if f := mt.CPU - m.usedCPU; f > wantCPU[ti][s] {
+			wantCPU[ti][s] = f
 		}
-		if f := mt.Mem - m.usedMem; f > want.freeMem[m.typeIdx] {
-			want.freeMem[m.typeIdx] = f
+		if f := mt.Mem - m.usedMem; f > wantMem[ti][s] {
+			wantMem[ti][s] = f
 		}
 	}
 
@@ -90,9 +104,13 @@ func TestAuditMachinesDeterministicAcrossWorkers(t *testing.T) {
 	// even on a single-core box.
 	for _, procs := range []int{1, 2, 8} {
 		runtime.GOMAXPROCS(procs)
-		got := e.auditMachines()
-		if !reflect.DeepEqual(got, want) {
-			t.Errorf("GOMAXPROCS=%d: audit = %+v, want %+v", procs, got, want)
+		e.refreshAccounting()
+		gotCPU, gotMem := flatBounds(e)
+		if !reflect.DeepEqual(gotCPU, wantCPU) || !reflect.DeepEqual(gotMem, wantMem) {
+			t.Errorf("GOMAXPROCS=%d: audit bounds differ from sequential reference", procs)
+		}
+		if e.usedCount != wantUsed {
+			t.Errorf("GOMAXPROCS=%d: used = %d, want %d", procs, e.usedCount, wantUsed)
 		}
 	}
 }
@@ -125,6 +143,7 @@ func genFailureConfig(t *testing.T, seed int64) Config {
 
 // Identical seeds must produce bit-identical results whether the audit
 // shards run on one worker or many (the tentpole determinism guarantee).
+// GOMAXPROCS 1, 4, and 8 all reduce to the same answer.
 func TestRunDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)
@@ -134,13 +153,73 @@ func TestRunDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runtime.GOMAXPROCS(8)
-	rn, err := Run(genFailureConfig(t, 3))
-	if err != nil {
-		t.Fatal(err)
+	for _, procs := range []int{4, 8} {
+		runtime.GOMAXPROCS(procs)
+		rn, err := Run(genFailureConfig(t, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r1, rn) {
+			t.Errorf("results differ between GOMAXPROCS=1 and GOMAXPROCS=%d", procs)
+		}
 	}
-	if !reflect.DeepEqual(r1, rn) {
-		t.Error("results differ between GOMAXPROCS=1 and GOMAXPROCS=8")
+}
+
+// Property test: across random seeds, a simulation fed by the streaming
+// generator must be bit-identical to the same simulation over the
+// materialized trace, at every worker count. This is the heart of the
+// streaming contract — the engine cannot tell which mode fed it.
+func TestRunStreamingMatchesMaterialized(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 4; trial++ {
+		seed := rng.Int63()
+		cfgTr := trace.DefaultConfig(seed)
+		cfgTr.Horizon = 2 * trace.Hour
+		cfgTr.RatePerS = 0.4 + rng.Float64()
+		cfgTr.Machines = []trace.MachineType{
+			{ID: 1, CPU: 0.5, Mem: 0.5, Count: 30},
+			{ID: 2, CPU: 1, Mem: 1, Count: 10},
+		}
+		tr, err := trace.Generate(cfgTr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := Config{
+			Models:   simModels(),
+			Price:    energy.FlatPrice(0.1),
+			Policy:   &staticPolicy{name: "all", target: []int{30, 10}},
+			Period:   300,
+			NumTypes: 1,
+			TypeOf:   func(trace.Task) int { return 0 },
+		}
+
+		mat := base
+		mat.Trace = tr
+		runtime.GOMAXPROCS(1)
+		want, err := Run(mat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, procs := range []int{1, 4, 8} {
+			runtime.GOMAXPROCS(procs)
+			src, err := trace.NewGenSource(cfgTr, 1+rng.Intn(300))
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream := base
+			stream.Source = src
+			got, err := Run(stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("trial %d (seed=%d, procs=%d): streamed result differs from materialized",
+					trial, seed, procs)
+			}
+		}
 	}
 }
 

@@ -4,10 +4,17 @@
 // evaluation reports — per-priority scheduling-delay CDFs, active-machine
 // series, and total energy/cost — and is the substrate for Figures 3-4 and
 // 19-26.
+//
+// The engine consumes its workload through trace.TaskSource, so a
+// trace-scale run (the Google trace is 25M tasks over 29 days) streams
+// through with peak memory proportional to live tasks plus machines, not
+// trace length. The steady-state event path — arrival, placement,
+// completion — is allocation-free and statically enforced by
+// harmony-lint's hotpathalloc analyzer via the //harmony:hotpath roots
+// below.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -66,8 +73,15 @@ type Policy interface {
 
 // Config parameterizes a simulation run.
 type Config struct {
-	Trace  *trace.Trace
-	Models []energy.Model // one per machine type, same order as Trace.Machines
+	// Trace is the materialized workload. Exactly one of Trace and
+	// Source must be set.
+	Trace *trace.Trace
+	// Source streams the workload in submit order without materializing
+	// it; machines and horizon come from Source.Meta(). This is how
+	// trace-scale runs keep peak memory independent of trace length.
+	Source trace.TaskSource
+
+	Models []energy.Model // one per machine type, same order as the machine population
 	Price  energy.Price
 	Policy Policy
 	Period float64 // control-period length in seconds
@@ -108,6 +122,12 @@ type Config struct {
 	// scheduler that skips currently-unschedulable tasks rather than
 	// blocking on them.
 	FailBudgetPerQueue int
+	// MaxDelaySamples, when positive, bounds the per-priority-group
+	// scheduling-delay sample retained for the delay CDFs using
+	// deterministic reservoir sampling (seeded per group). 0 keeps every
+	// sample — exact, but O(total tasks) memory, which a 25M-task run
+	// cannot afford.
+	MaxDelaySamples int
 }
 
 // Result aggregates everything measured during a run.
@@ -115,7 +135,9 @@ type Result struct {
 	Policy string
 
 	// DelayByGroup holds the scheduling-delay CDF per priority group
-	// (Figure 4 and Figures 23-25).
+	// (Figure 4 and Figures 23-25). With Config.MaxDelaySamples set it
+	// holds a uniform reservoir sample of the delays instead of every
+	// sample.
 	DelayByGroup map[trace.PriorityGroup]*stats.CDF
 	// ActiveSeries is the total powered machines at each period start
 	// (Figures 21-22).
@@ -182,18 +204,58 @@ type runningTask struct {
 	cpu, mem float64 // reserved amounts on the machine
 }
 
+// finishHeap is a typed binary min-heap on finish time. The sift
+// routines mirror container/heap exactly (same comparison and swap
+// order), so results are bit-identical to the boxed implementation it
+// replaces — but push/pop stay monomorphic and allocation-free instead
+// of boxing every runningTask through an interface.
 type finishHeap []runningTask
 
-func (h finishHeap) Len() int            { return len(h) }
-func (h finishHeap) Less(i, j int) bool  { return h[i].finish < h[j].finish }
-func (h finishHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *finishHeap) Push(x interface{}) { *h = append(*h, x.(runningTask)) }
-func (h *finishHeap) Pop() interface{} {
+//harmony:hotpath
+func (h *finishHeap) push(rt runningTask) {
+	*h = append(*h, rt)
+	h.up(len(*h) - 1)
+}
+
+//harmony:hotpath
+func (h *finishHeap) pop() runningTask {
 	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	it := old[n]
+	*h = old[:n]
 	return it
+}
+
+func (h finishHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || h[i].finish <= h[j].finish {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h finishHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			return
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].finish < h[j1].finish {
+			j = j2 // right child
+		}
+		if h[j].finish >= h[i].finish {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 type pendingTask struct {
@@ -201,13 +263,32 @@ type pendingTask struct {
 	taskType int
 }
 
+// machineShardSize fixes the shard width of per-type machine state:
+// placement pruning bounds and the period-boundary audit both work in
+// (machine type, shard) granules. Shard boundaries depend only on the
+// machine population — never on GOMAXPROCS — so sharded results are
+// bit-for-bit independent of worker count.
+const machineShardSize = 512
+
+// auditItem is one (machine type, shard) granule of the periodic
+// accounting audit; lo/hi are machine-id bounds.
+type auditItem struct {
+	ti, shard int
+	lo, hi    int
+}
+
 // engine is the mutable simulation state.
 type engine struct {
 	cfg Config
 
-	machines []machine
-	byType   [][]int // machine indices per type
-	active   []int   // powered count per type
+	src     trace.TaskSource
+	types   []trace.MachineType
+	horizon float64
+
+	machines  []machine
+	typeFirst []int // first machine id per type (ids are contiguous per type)
+	typeCount []int
+	active    []int // powered count per type
 
 	// pending[group][taskType] is a FIFO queue; scheduling scans groups
 	// in descending priority, then types, so a stuck type cannot block
@@ -231,11 +312,20 @@ type engine struct {
 
 	failRand *stats.RNG
 
-	// freeCPUBound/freeMemBound[m] are upper bounds on the largest free
-	// CPU/memory of any powered type-m machine, used to prune placement
-	// scans. They are tightened to exact values whenever a scan fails.
-	freeCPUBound []float64
-	freeMemBound []float64
+	// freeCPUBound/freeMemBound[m][s] are upper bounds on the largest
+	// free CPU/memory of any powered type-m machine in shard s, used to
+	// prune placement scans shard by shard. They are tightened to exact
+	// values whenever a shard is fully scanned, and wholesale by the
+	// period-boundary audit.
+	freeCPUBound [][]float64
+	freeMemBound [][]float64
+
+	auditItems []auditItem
+	auditUsed  []int // per-item used-machine partials, reused across periods
+
+	// delayRes, when non-nil per group, reservoir-samples scheduling
+	// delays instead of retaining all of them.
+	delayRes [trace.NumGroups]*stats.Reservoir
 
 	res *Result
 }
@@ -246,8 +336,14 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	cfg.applyDefaults()
-	e := newEngine(cfg)
-	e.run()
+	src := cfg.Source
+	if src == nil {
+		src = trace.NewSliceSource(cfg.Trace)
+	}
+	e := newEngine(cfg, src)
+	if err := e.run(); err != nil {
+		return nil, err
+	}
 	return e.res, nil
 }
 
@@ -267,12 +363,21 @@ func (cfg *Config) applyDefaults() {
 }
 
 func validateConfig(cfg *Config) error {
-	if cfg.Trace == nil || len(cfg.Trace.Machines) == 0 {
+	var machines []trace.MachineType
+	switch {
+	case cfg.Trace != nil && cfg.Source != nil:
+		return errors.New("sim: set exactly one of Trace and Source")
+	case cfg.Trace != nil:
+		machines = cfg.Trace.Machines
+	case cfg.Source != nil:
+		machines = cfg.Source.Meta().Machines
+	}
+	if len(machines) == 0 {
 		return errors.New("sim: missing trace or machines")
 	}
-	if len(cfg.Models) != len(cfg.Trace.Machines) {
+	if len(cfg.Models) != len(machines) {
 		return fmt.Errorf("sim: %d energy models for %d machine types",
-			len(cfg.Models), len(cfg.Trace.Machines))
+			len(cfg.Models), len(machines))
 	}
 	if cfg.Price == nil {
 		return errors.New("sim: missing price")
@@ -286,28 +391,33 @@ func validateConfig(cfg *Config) error {
 	if cfg.NumTypes <= 0 || cfg.TypeOf == nil {
 		return errors.New("sim: task-type mapping required")
 	}
-	if cfg.SwitchCost != nil && len(cfg.SwitchCost) != len(cfg.Trace.Machines) {
+	if cfg.SwitchCost != nil && len(cfg.SwitchCost) != len(machines) {
 		return errors.New("sim: switch-cost length mismatch")
 	}
-	if cfg.InitialActive != nil && len(cfg.InitialActive) != len(cfg.Trace.Machines) {
+	if cfg.InitialActive != nil && len(cfg.InitialActive) != len(machines) {
 		return errors.New("sim: initial-active length mismatch")
 	}
 	return nil
 }
 
-func newEngine(cfg Config) *engine {
-	nm := len(cfg.Trace.Machines)
+func newEngine(cfg Config, src trace.TaskSource) *engine {
+	meta := src.Meta()
+	nm := len(meta.Machines)
 	e := &engine{
 		cfg:          cfg,
+		src:          src,
+		types:        meta.Machines,
+		horizon:      meta.Horizon,
 		active:       make([]int, nm),
-		byType:       make([][]int, nm),
+		typeFirst:    make([]int, nm),
+		typeCount:    make([]int, nm),
 		arrivals:     make([]int, cfg.NumTypes),
 		runningN:     make([]int, cfg.NumTypes),
 		sumUsedCPU:   make([]float64, nm),
 		sumUsedMem:   make([]float64, nm),
 		occupancy:    make([][]int, nm),
-		freeCPUBound: make([]float64, nm),
-		freeMemBound: make([]float64, nm),
+		freeCPUBound: make([][]float64, nm),
+		freeMemBound: make([][]float64, nm),
 		res: &Result{
 			Policy:       cfg.Policy.Name(),
 			DelayByGroup: make(map[trace.PriorityGroup]*stats.CDF, trace.NumGroups),
@@ -316,6 +426,11 @@ func newEngine(cfg Config) *engine {
 	}
 	for _, g := range trace.Groups() {
 		e.res.DelayByGroup[g] = &stats.CDF{}
+		if cfg.MaxDelaySamples > 0 {
+			// Seeded per group so the retained sample is deterministic
+			// and independent of the other groups' arrival interleaving.
+			e.delayRes[g.Index()] = stats.NewReservoir(cfg.MaxDelaySamples, int64(g.Index()+1))
+		}
 	}
 	for gi := range e.pending {
 		e.pending[gi] = make([][]pendingTask, cfg.NumTypes)
@@ -324,27 +439,40 @@ func newEngine(cfg Config) *engine {
 		e.failRand = stats.NewRNG(cfg.FailureSeed)
 	}
 	id := 0
-	for ti, mt := range cfg.Trace.Machines {
+	for ti, mt := range e.types {
 		e.occupancy[ti] = make([]int, cfg.NumTypes)
 		e.res.ActiveByType[ti].Name = fmt.Sprintf("active type %d", mt.ID)
+		e.typeFirst[ti] = id
+		e.typeCount[ti] = mt.Count
+		shards := (mt.Count + machineShardSize - 1) / machineShardSize
+		if shards < 1 {
+			shards = 1
+		}
+		e.freeCPUBound[ti] = make([]float64, shards)
+		e.freeMemBound[ti] = make([]float64, shards)
+		for s := 0; s < shards; s++ {
+			lo := id + s*machineShardSize
+			hi := lo + machineShardSize
+			if hi > id+mt.Count {
+				hi = id + mt.Count
+			}
+			e.auditItems = append(e.auditItems, auditItem{ti: ti, shard: s, lo: lo, hi: hi})
+		}
 		for k := 0; k < mt.Count; k++ {
 			e.machines = append(e.machines, machine{id: id, typeIdx: ti})
-			e.byType[ti] = append(e.byType[ti], id)
 			id++
 		}
 	}
+	e.auditUsed = make([]int, len(e.auditItems))
 	if cfg.InitialActive != nil {
 		for ti, want := range cfg.InitialActive {
-			for _, mi := range e.byType[ti] {
+			for mi := e.typeFirst[ti]; mi < e.typeFirst[ti]+e.typeCount[ti]; mi++ {
 				if e.active[ti] >= want {
 					break
 				}
 				e.machines[mi].on = true
 				e.active[ti]++
-			}
-			if e.active[ti] > 0 {
-				e.freeCPUBound[ti] = cfg.Trace.Machines[ti].CPU
-				e.freeMemBound[ti] = cfg.Trace.Machines[ti].Mem
+				e.raiseBounds(mi)
 			}
 		}
 	}
@@ -354,24 +482,44 @@ func newEngine(cfg Config) *engine {
 	return e
 }
 
-func (e *engine) run() {
-	tasks := e.cfg.Trace.Tasks
-	horizon := e.cfg.Trace.Horizon
-	nextTask := 0
+func (e *engine) run() error {
 	nextPeriod := 0.0
 	periodIdx := 0
+	var (
+		next    trace.Task
+		have    bool
+		prevSub = math.Inf(-1)
+	)
+	pull := func() error {
+		ok, err := e.src.Next(&next)
+		if err != nil {
+			return fmt.Errorf("sim: task source: %w", err)
+		}
+		have = ok
+		if ok {
+			if next.Submit < prevSub {
+				return fmt.Errorf("sim: task %d out of submit order (%g after %g)",
+					next.ID, next.Submit, prevSub)
+			}
+			prevSub = next.Submit
+		}
+		return nil
+	}
+	if err := pull(); err != nil {
+		return err
+	}
 
 	for {
 		// Next event time: min(arrival, completion, period boundary).
 		tArr, tFin := math.Inf(1), math.Inf(1)
-		if nextTask < len(tasks) {
-			tArr = tasks[nextTask].Submit
+		if have {
+			tArr = next.Submit
 		}
 		if len(e.running) > 0 {
 			tFin = e.running[0].finish
 		}
 		tEvt := math.Min(math.Min(tArr, tFin), nextPeriod)
-		if tEvt > horizon {
+		if tEvt > e.horizon {
 			break
 		}
 		e.advanceTo(tEvt)
@@ -387,23 +535,32 @@ func (e *engine) run() {
 			e.completeOne()
 			e.schedulePending()
 		default:
-			t := tasks[nextTask]
-			nextTask++
-			tt := e.typeOf(t)
-			e.arrivals[tt]++
-			gi := t.Group().Index()
-			p := pendingTask{task: t, taskType: tt}
-			// Fast path: preserve FIFO per (group, type) but place an
-			// arriving task immediately when nothing of its kind waits.
-			if len(e.pending[gi][tt]) == 0 && e.place(p) {
-				break
+			e.handleArrival(next)
+			if err := pull(); err != nil {
+				return err
 			}
-			e.pending[gi][tt] = append(e.pending[gi][tt], p)
-			e.pendingCount++
 		}
 	}
-	e.advanceTo(horizon)
-	e.finish(horizon)
+	e.advanceTo(e.horizon)
+	e.finish(e.horizon)
+	return nil
+}
+
+// handleArrival enqueues (or immediately places) one arriving task.
+//
+//harmony:hotpath
+func (e *engine) handleArrival(t trace.Task) {
+	tt := e.typeOf(t)
+	e.arrivals[tt]++
+	gi := t.Group().Index()
+	p := pendingTask{task: t, taskType: tt}
+	// Fast path: preserve FIFO per (group, type) but place an arriving
+	// task immediately when nothing of its kind waits.
+	if len(e.pending[gi][tt]) == 0 && e.place(p) {
+		return
+	}
+	e.pending[gi][tt] = append(e.pending[gi][tt], p)
+	e.pendingCount++
 }
 
 func (e *engine) typeOf(t trace.Task) int {
@@ -415,6 +572,8 @@ func (e *engine) typeOf(t trace.Task) int {
 }
 
 // advanceTo integrates energy from lastEnergy to t.
+//
+//harmony:hotpath
 func (e *engine) advanceTo(t float64) {
 	dt := t - e.lastEnergy
 	if dt <= 0 {
@@ -427,7 +586,7 @@ func (e *engine) advanceTo(t float64) {
 		if e.active[ti] == 0 {
 			continue
 		}
-		mt := e.cfg.Trace.Machines[ti]
+		mt := e.types[ti]
 		watts += float64(e.active[ti])*model.IdleWatts +
 			model.AlphaCPU*e.sumUsedCPU[ti]/mt.CPU +
 			model.AlphaMem*e.sumUsedMem[ti]/mt.Mem
@@ -438,6 +597,11 @@ func (e *engine) advanceTo(t float64) {
 	e.now = t
 }
 
+// periodBoundary runs the control-period work: failure injection, exact
+// accounting audit, relabeling, observation, and the policy decision.
+// It is the budgeted residue outside the per-event hot path.
+//
+//harmony:coldpath period work is budgeted per control period, not per event
 func (e *engine) periodBoundary(periodIdx int) {
 	e.injectFailures()
 	e.refreshAccounting()
@@ -496,7 +660,7 @@ func (e *engine) apply(dir Directive) {
 	if dir.TargetActive == nil {
 		return
 	}
-	for ti := range e.byType {
+	for ti := range e.typeCount {
 		target := 0
 		if ti < len(dir.TargetActive) {
 			target = dir.TargetActive[ti]
@@ -504,8 +668,8 @@ func (e *engine) apply(dir Directive) {
 		if target < 0 {
 			target = 0
 		}
-		if target > len(e.byType[ti]) {
-			target = len(e.byType[ti])
+		if target > e.typeCount[ti] {
+			target = e.typeCount[ti]
 		}
 		e.setActive(ti, target)
 	}
@@ -514,13 +678,13 @@ func (e *engine) apply(dir Directive) {
 // setActive powers machines of a type up or down toward target. Machines
 // with running tasks are never powered off.
 func (e *engine) setActive(ti, target int) {
-	mt := e.cfg.Trace.Machines[ti]
 	cost := 0.0
 	if e.cfg.SwitchCost != nil {
 		cost = e.cfg.SwitchCost[ti]
 	}
+	first, count := e.typeFirst[ti], e.typeCount[ti]
 	if e.active[ti] < target {
-		for _, mi := range e.byType[ti] {
+		for mi := first; mi < first+count; mi++ {
 			if e.active[ti] >= target {
 				break
 			}
@@ -531,13 +695,13 @@ func (e *engine) setActive(ti, target int) {
 				e.active[ti]++
 				e.res.SwitchEvents++
 				e.res.SwitchCost += cost
-				e.raiseBounds(ti, mt.CPU-m.usedCPU, mt.Mem-m.usedMem)
+				e.raiseBounds(mi)
 			}
 		}
 		return
 	}
 	if e.active[ti] > target {
-		for _, mi := range e.byType[ti] {
+		for mi := first; mi < first+count; mi++ {
 			if e.active[ti] <= target {
 				break
 			}
@@ -557,6 +721,8 @@ func (e *engine) setActive(ti, target int) {
 // honoring quotas and container reservations. Each type queue tolerates a
 // bounded number of placement failures per pass so one unschedulable task
 // cannot starve everything behind it.
+//
+//harmony:hotpath
 func (e *engine) schedulePending() {
 	if e.pendingCount == 0 {
 		return
@@ -587,6 +753,8 @@ func (e *engine) schedulePending() {
 }
 
 // place tries to start p on some machine; reports success.
+//
+//harmony:hotpath
 func (e *engine) place(p pendingTask) bool {
 	cpu, mem := p.task.CPU, p.task.Mem
 	if e.reserveCPU != nil && p.taskType < len(e.reserveCPU) {
@@ -599,19 +767,16 @@ func (e *engine) place(p pendingTask) bool {
 			mem = r
 		}
 	}
-	for ti := range e.byType {
+	for ti := range e.types {
 		if e.active[ti] == 0 {
 			continue
 		}
-		mt := e.cfg.Trace.Machines[ti]
+		mt := e.types[ti]
 		if p.task.Constraint != "" && mt.Platform != p.task.Constraint {
 			continue // placement constraint: wrong platform
 		}
 		if cpu > mt.CPU || mem > mt.Mem {
 			continue
-		}
-		if cpu > e.freeCPUBound[ti]+1e-12 || mem > e.freeMemBound[ti]+1e-12 {
-			continue // no powered machine of this type can fit it
 		}
 		if e.quota != nil && ti < len(e.quota) && e.quota[ti] != nil {
 			if p.taskType < len(e.quota[ti]) &&
@@ -619,15 +784,46 @@ func (e *engine) place(p pendingTask) bool {
 				continue
 			}
 		}
-		// Placement within the machine type: legacy first-fit by
-		// default; best-fit (least leftover capacity) when the policy
-		// requests scheduler coordination — best-fit keeps large
-		// contiguous slots available, which matters because some
-		// containers occupy almost a whole machine.
+		if mi := e.placeInType(ti, mt, cpu, mem); mi >= 0 {
+			e.start(p, mi, cpu, mem)
+			return true
+		}
+	}
+	return false
+}
+
+// placeInType scans the machines of one type shard by shard: legacy
+// first-fit by default; best-fit (least leftover capacity) when the
+// policy requests scheduler coordination — best-fit keeps large
+// contiguous slots available, which matters because some containers
+// occupy almost a whole machine.
+//
+// A shard whose free-capacity upper bounds already rule the task out is
+// skipped without touching its machines — skipping cannot change the
+// placement decision, because such a shard provably holds no feasible
+// machine. Any shard that is fully scanned has its bounds tightened to
+// the exact maxima seen, so repeated placement failures get cheaper.
+//
+//harmony:hotpath
+func (e *engine) placeInType(ti int, mt trace.MachineType, cpu, mem float64) int {
+	first := e.typeFirst[ti]
+	last := first + e.typeCount[ti]
+	cpuB := e.freeCPUBound[ti]
+	memB := e.freeMemBound[ti]
+	best := -1
+	bestLeft := math.Inf(1)
+	for s := range cpuB {
+		if cpu > cpuB[s]+1e-12 || mem > memB[s]+1e-12 {
+			continue // no powered machine in this shard can fit it
+		}
+		lo := first + s*machineShardSize
+		hi := lo + machineShardSize
+		if hi > last {
+			hi = last
+		}
 		var maxFreeCPU, maxFreeMem float64
-		best := -1
-		bestLeft := math.Inf(1)
-		for _, mi := range e.byType[ti] {
+		hit := -1
+		for mi := lo; mi < hi; mi++ {
 			m := &e.machines[mi]
 			if !m.on {
 				continue
@@ -650,7 +846,7 @@ func (e *engine) place(p pendingTask) bool {
 				continue
 			}
 			if !e.bestFit {
-				best = mi
+				hit = mi
 				break
 			}
 			left := (freeCPU-cpu)/mt.CPU + (freeMem-mem)/mt.Mem
@@ -659,18 +855,21 @@ func (e *engine) place(p pendingTask) bool {
 				best = mi
 			}
 		}
-		if best >= 0 {
-			e.start(p, best, cpu, mem)
-			return true
+		if !e.bestFit && hit >= 0 {
+			// First fit found mid-shard: the shard was not fully
+			// scanned, so its bounds stay as they were (still valid
+			// upper bounds).
+			return hit
 		}
-		// The scan saw every powered machine: tighten the bounds so the
-		// next query for an equally large task skips this type outright.
-		e.freeCPUBound[ti] = maxFreeCPU
-		e.freeMemBound[ti] = maxFreeMem
+		// The scan saw every powered machine in the shard: the maxima
+		// are exact, so the bounds tighten.
+		cpuB[s] = maxFreeCPU
+		memB[s] = maxFreeMem
 	}
-	return false
+	return best
 }
 
+//harmony:hotpath
 func (e *engine) start(p pendingTask, mi int, cpu, mem float64) {
 	m := &e.machines[mi]
 	m.usedCPU += cpu
@@ -684,7 +883,7 @@ func (e *engine) start(p pendingTask, mi int, cpu, mem float64) {
 	e.sumUsedMem[ti] += mem
 	e.occupancy[ti][p.taskType]++
 	e.runningN[p.taskType]++
-	heap.Push(&e.running, runningTask{
+	e.running.push(runningTask{
 		finish:   e.now + p.task.Duration,
 		start:    e.now,
 		machine:  mi,
@@ -699,12 +898,25 @@ func (e *engine) start(p pendingTask, mi int, cpu, mem float64) {
 	if delay < 0 {
 		delay = 0
 	}
-	e.res.DelayByGroup[p.task.Group()].Add(delay)
+	e.recordDelay(p.task.Group(), delay)
 	e.res.Scheduled++
 }
 
+// recordDelay routes one scheduling-delay sample either into the exact
+// per-group CDF or, at scale, into the bounded reservoir.
+//
+//harmony:hotpath
+func (e *engine) recordDelay(g trace.PriorityGroup, d float64) {
+	if rv := e.delayRes[g.Index()]; rv != nil {
+		rv.Add(d)
+		return
+	}
+	e.res.DelayByGroup[g].Add(d)
+}
+
+//harmony:hotpath
 func (e *engine) completeOne() {
-	rt := heap.Pop(&e.running).(runningTask)
+	rt := e.running.pop()
 	m := &e.machines[rt.machine]
 	if rt.epoch != m.epoch {
 		return // execution was aborted by a machine failure
@@ -732,8 +944,7 @@ func (e *engine) completeOne() {
 	}
 	e.occupancy[ti][rt.taskType]--
 	e.runningN[rt.taskType]--
-	mt := e.cfg.Trace.Machines[ti]
-	e.raiseBounds(ti, mt.CPU-m.usedCPU, mt.Mem-m.usedMem)
+	e.raiseBounds(rt.machine)
 	e.res.Completed++
 }
 
@@ -843,15 +1054,21 @@ func (e *engine) relabelRunning() {
 	}
 }
 
-// raiseBounds loosens the free-capacity upper bounds after resources are
-// freed or a machine powers on. Bounds only ever need to stay >= the true
-// maxima, so raising them is always safe.
-func (e *engine) raiseBounds(ti int, freeCPU, freeMem float64) {
-	if freeCPU > e.freeCPUBound[ti] {
-		e.freeCPUBound[ti] = freeCPU
+// raiseBounds loosens machine mi's shard free-capacity upper bounds
+// after resources are freed or the machine powers on. Bounds only ever
+// need to stay >= the true maxima, so raising them is always safe.
+//
+//harmony:hotpath
+func (e *engine) raiseBounds(mi int) {
+	m := &e.machines[mi]
+	ti := m.typeIdx
+	s := (mi - e.typeFirst[ti]) / machineShardSize
+	mt := e.types[ti]
+	if f := mt.CPU - m.usedCPU; f > e.freeCPUBound[ti][s] {
+		e.freeCPUBound[ti][s] = f
 	}
-	if freeMem > e.freeMemBound[ti] {
-		e.freeMemBound[ti] = freeMem
+	if f := mt.Mem - m.usedMem; f > e.freeMemBound[ti][s] {
+		e.freeMemBound[ti][s] = f
 	}
 }
 
@@ -862,9 +1079,16 @@ func (e *engine) finish(horizon float64) {
 	for gi := range e.pending {
 		for tt := range e.pending[gi] {
 			for _, p := range e.pending[gi][tt] {
-				e.res.DelayByGroup[p.task.Group()].Add(horizon - p.task.Submit)
+				e.recordDelay(p.task.Group(), horizon-p.task.Submit)
 				e.res.Unscheduled++
 			}
+		}
+	}
+	// In reservoir mode the CDFs are built once, from the retained
+	// samples, at the very end.
+	if e.cfg.MaxDelaySamples > 0 {
+		for _, g := range trace.Groups() {
+			e.res.DelayByGroup[g] = e.delayRes[g.Index()].CDF()
 		}
 	}
 }

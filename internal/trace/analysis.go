@@ -2,6 +2,7 @@ package trace
 
 import (
 	"errors"
+	"math"
 
 	"harmony/internal/stats"
 )
@@ -10,31 +11,60 @@ import (
 // system over time (Figures 1 and 2): each task contributes its demand from
 // submission until submission+duration. binWidth is in seconds.
 func DemandSeries(tr *Trace, binWidth float64) (cpu, mem stats.Series, err error) {
+	return DemandSeriesFrom(NewSliceSource(tr), binWidth)
+}
+
+// DemandSeriesFrom is the streaming form of DemandSeries: one pass over
+// src with memory proportional to the number of bins, not the number of
+// tasks. A task enters the series at the bin containing its submit time
+// and leaves at the bin containing its end time (so a task fully inside
+// one bin nets to zero — binning is unbiased, not overlap-maximal). The
+// series spans ceil(Horizon/binWidth) bins: a horizon that is an exact
+// multiple of the bin width yields exactly Horizon/binWidth points, with
+// no phantom trailing bin, and a task ending exactly at the horizon is
+// released into the diff array's off-the-end slot rather than having its
+// decrement silently dropped.
+func DemandSeriesFrom(src TaskSource, binWidth float64) (cpu, mem stats.Series, err error) {
 	if binWidth <= 0 {
 		return cpu, mem, errors.New("trace: bin width must be positive")
 	}
-	nbins := int(tr.Horizon/binWidth) + 1
+	m := src.Meta()
+	nbins := int(math.Ceil(m.Horizon / binWidth))
+	if nbins < 1 {
+		nbins = 1
+	}
+	// Difference arrays: +demand at the submit bin, -demand at the end
+	// bin. Index nbins is the off-the-end slot for tasks that run to (or
+	// beyond) the horizon.
 	cpuDiff := make([]float64, nbins+1)
 	memDiff := make([]float64, nbins+1)
-	clampBin := func(t float64) int {
-		b := int(t / binWidth)
-		if b < 0 {
-			return 0
+	var t Task
+	for {
+		ok, nerr := src.Next(&t)
+		if nerr != nil {
+			return cpu, mem, nerr
 		}
-		if b > nbins {
-			return nbins
+		if !ok {
+			break
 		}
-		return b
-	}
-	for _, t := range tr.Tasks {
-		start := clampBin(t.Submit)
-		end := clampBin(t.Submit + t.Duration)
+		start := int(t.Submit / binWidth)
+		if start < 0 {
+			start = 0
+		}
+		if start > nbins-1 {
+			start = nbins - 1
+		}
+		end := int((t.Submit + t.Duration) / binWidth)
+		if end < start {
+			end = start
+		}
+		if end > nbins {
+			end = nbins
+		}
 		cpuDiff[start] += t.CPU
 		memDiff[start] += t.Mem
-		if end < nbins {
-			cpuDiff[end] -= t.CPU
-			memDiff[end] -= t.Mem
-		}
+		cpuDiff[end] -= t.CPU
+		memDiff[end] -= t.Mem
 	}
 	cpuPts := make([]stats.Point, nbins)
 	memPts := make([]stats.Point, nbins)
@@ -53,6 +83,12 @@ func DemandSeries(tr *Trace, binWidth float64) (cpu, mem stats.Series, err error
 // ArrivalRates computes the per-priority-group task arrival rate over time
 // (Figure 19), in tasks per second, binned at binWidth seconds.
 func ArrivalRates(tr *Trace, binWidth float64) (map[PriorityGroup]stats.Series, error) {
+	return ArrivalRatesFrom(NewSliceSource(tr), binWidth)
+}
+
+// ArrivalRatesFrom is the streaming form of ArrivalRates: one pass over
+// src, memory proportional to the number of occupied bins.
+func ArrivalRatesFrom(src TaskSource, binWidth float64) (map[PriorityGroup]stats.Series, error) {
 	if binWidth <= 0 {
 		return nil, errors.New("trace: bin width must be positive")
 	}
@@ -64,7 +100,15 @@ func ArrivalRates(tr *Trace, binWidth float64) (map[PriorityGroup]stats.Series, 
 		}
 		binners[g] = b
 	}
-	for _, t := range tr.Tasks {
+	var t Task
+	for {
+		ok, err := src.Next(&t)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
 		binners[t.Group()].Observe(t.Submit, 1)
 	}
 	out := make(map[PriorityGroup]stats.Series, NumGroups)

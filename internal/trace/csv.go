@@ -15,13 +15,30 @@ var csvHeader = []string{"id", "job", "submit", "duration", "cpu", "mem", "prior
 // lossless round trip; CSV exists for interoperability with external
 // analysis tools.
 func WriteCSV(w io.Writer, tr *Trace) error {
+	_, err := WriteCSVStream(w, NewSliceSource(tr))
+	return err
+}
+
+// WriteCSVStream drains src to w as CSV without materializing it, and
+// returns the number of rows written (excluding the header).
+func WriteCSVStream(w io.Writer, src TaskSource) (int64, error) {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
-		return fmt.Errorf("trace: csv header: %w", err)
+		return 0, fmt.Errorf("trace: csv header: %w", err)
 	}
 	row := make([]string, len(csvHeader))
-	for i := range tr.Tasks {
-		t := &tr.Tasks[i]
+	var (
+		n int64
+		t Task
+	)
+	for {
+		ok, err := src.Next(&t)
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
 		row[0] = strconv.FormatUint(t.ID, 10)
 		row[1] = strconv.FormatUint(t.JobID, 10)
 		row[2] = strconv.FormatFloat(t.Submit, 'g', -1, 64)
@@ -32,44 +49,93 @@ func WriteCSV(w io.Writer, tr *Trace) error {
 		row[7] = strconv.Itoa(t.SchedClass)
 		row[8] = t.Constraint
 		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("trace: csv task %d: %w", i, err)
+			return n, fmt.Errorf("trace: csv task %d: %w", n, err)
 		}
+		n++
 	}
 	cw.Flush()
-	return cw.Error()
+	return n, cw.Error()
+}
+
+// CSVSource streams tasks from a WriteCSV export one row at a time. The
+// caller supplies the machine population (CSV does not carry it) and
+// horizon; horizon <= 0 leaves Meta.Horizon at 0, and batch callers that
+// need an inferred horizon should use ReadCSV instead (inference requires
+// seeing every row).
+type CSVSource struct {
+	cr   *csv.Reader
+	meta Meta
+	line int64
+	prev float64
+	done bool
+}
+
+// NewCSVSource validates the CSV header of r and returns a source over
+// its rows. Each Next validates submit-order monotonicity, so a shuffled
+// export fails fast rather than silently corrupting a simulation.
+func NewCSVSource(r io.Reader, machines []MachineType, horizon float64) (*CSVSource, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	hdr, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv header: %w", err)
+	}
+	if len(hdr) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: csv header has %d columns, want %d", len(hdr), len(csvHeader))
+	}
+	for i, want := range csvHeader {
+		if hdr[i] != want {
+			return nil, fmt.Errorf("trace: csv column %d is %q, want %q", i, hdr[i], want)
+		}
+	}
+	return &CSVSource{
+		cr:   cr,
+		meta: Meta{Machines: machines, Horizon: horizon, Tasks: TasksUnknown},
+		line: 1,
+		prev: -1,
+	}, nil
+}
+
+// Meta implements TaskSource.
+func (s *CSVSource) Meta() Meta { return s.meta }
+
+// Next implements TaskSource.
+func (s *CSVSource) Next(t *Task) (bool, error) {
+	if s.done {
+		return false, nil
+	}
+	s.line++
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		s.done = true
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("trace: csv line %d: %w", s.line, err)
+	}
+	tt, err := taskFromCSV(rec)
+	if err != nil {
+		return false, fmt.Errorf("trace: csv line %d: %w", s.line, err)
+	}
+	if tt.Submit < s.prev {
+		return false, fmt.Errorf("trace: csv line %d out of submit order (%g after %g)", s.line, tt.Submit, s.prev)
+	}
+	s.prev = tt.Submit
+	*t = tt
+	return true, nil
 }
 
 // ReadCSV parses a task stream produced by WriteCSV. The caller supplies
 // the machine population (CSV does not carry it) and horizon; pass
 // horizon <= 0 to infer it from the last task's submit+duration.
 func ReadCSV(r io.Reader, machines []MachineType, horizon float64) (*Trace, error) {
-	cr := csv.NewReader(r)
-	header, err := cr.Read()
+	src, err := NewCSVSource(r, machines, horizon)
 	if err != nil {
-		return nil, fmt.Errorf("trace: csv header: %w", err)
+		return nil, err
 	}
-	if len(header) != len(csvHeader) {
-		return nil, fmt.Errorf("trace: csv header has %d columns, want %d", len(header), len(csvHeader))
-	}
-	for i, want := range csvHeader {
-		if header[i] != want {
-			return nil, fmt.Errorf("trace: csv column %d is %q, want %q", i, header[i], want)
-		}
-	}
-	tr := &Trace{Machines: machines, Horizon: horizon}
-	for line := 2; ; line++ {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
-		}
-		t, err := taskFromCSV(rec)
-		if err != nil {
-			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
-		}
-		tr.Tasks = append(tr.Tasks, t)
+	tr, err := Collect(src)
+	if err != nil {
+		return nil, err
 	}
 	if tr.Horizon <= 0 {
 		for i := range tr.Tasks {

@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"errors"
 	"math"
 
 	"harmony/internal/stats"
@@ -184,97 +183,21 @@ func GoogleLikeMachines(n int) []MachineType {
 }
 
 // Generate produces a synthetic trace from cfg. It is deterministic for a
-// given configuration (including seed).
+// given configuration (including seed), and materializes exactly the
+// stream a GenSource with the same config emits — the one-shot and
+// streaming modes share one generator.
 func Generate(cfg Config) (*Trace, error) {
-	if cfg.Horizon <= 0 {
-		return nil, errors.New("trace: horizon must be positive")
+	src, err := NewGenSource(cfg, 0)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.RatePerS <= 0 {
-		return nil, errors.New("trace: rate must be positive")
+	tr, err := Collect(src)
+	if err != nil {
+		return nil, err
 	}
-	if len(cfg.Machines) == 0 {
-		return nil, errors.New("trace: no machines configured")
-	}
-	shareSum := 0.0
-	for _, g := range cfg.Groups {
-		if g.Share < 0 {
-			return nil, errors.New("trace: negative group share")
-		}
-		shareSum += g.Share
-	}
-	if shareSum <= 0 {
-		return nil, errors.New("trace: group shares sum to zero")
-	}
-
-	r := stats.NewRNG(cfg.Seed)
-	tr := &Trace{Machines: cfg.Machines, Horizon: cfg.Horizon}
-
-	shares := make([]float64, NumGroups)
-	for i, g := range cfg.Groups {
-		shares[i] = g.Share
-	}
-
-	// Thinned non-homogeneous Poisson arrivals: draw from a homogeneous
-	// process at the peak rate, keep each point with prob rate(t)/peak.
-	peak := cfg.RatePerS * (1 + cfg.Diurnal) * math.Max(cfg.BurstFactor, 1)
-	var (
-		id       uint64
-		jobID    uint64
-		jobLeft  [NumGroups]int
-		jobCur   [NumGroups]uint64
-		jobCPU   [NumGroups]float64
-		jobMem   [NumGroups]float64
-		jobCon   [NumGroups]string
-		burstEnd float64
-	)
-	platforms := make([]string, 0, len(cfg.Machines))
-	for _, m := range cfg.Machines {
-		platforms = append(platforms, m.Platform)
-	}
-	for t := stats.Exponential(r, 1/peak); t < cfg.Horizon; t += stats.Exponential(r, 1/peak) {
-		rate := cfg.RatePerS * (1 + cfg.Diurnal*math.Sin(2*math.Pi*t/Day))
-		if t < burstEnd {
-			rate *= cfg.BurstFactor
-		} else if r.Float64() < cfg.BurstProb*peak/cfg.RatePerS*1e-3 {
-			burstEnd = t + 10*60 // ten-minute burst
-			rate *= cfg.BurstFactor
-		}
-		if r.Float64() >= rate/peak {
-			continue
-		}
-
-		gi := stats.WeightedChoice(r, shares)
-		g := cfg.Groups[gi]
-
-		// Job membership: tasks arrive in job batches of geometric size.
-		// All tasks of a job share one resource request, as in the real
-		// trace (users specify the demand once per job) — this is what
-		// concentrates the workload into tight classes (§III-D).
-		if jobLeft[gi] == 0 {
-			jobID++
-			jobCur[gi] = jobID
-			jobLeft[gi] = 1 + geometric(r, g.TasksPerJob)
-			jobCPU[gi], jobMem[gi] = drawSize(r, g)
-			jobCon[gi] = ""
-			if len(platforms) > 0 && r.Float64() < g.ConstraintFrac {
-				jobCon[gi] = platforms[r.Intn(len(platforms))]
-			}
-		}
-		jobLeft[gi]--
-
-		id++
-		tr.Tasks = append(tr.Tasks, Task{
-			ID:         id,
-			JobID:      jobCur[gi],
-			Submit:     t,
-			Duration:   drawDuration(r, g),
-			CPU:        jobCPU[gi],
-			Mem:        jobMem[gi],
-			Priority:   g.PriorityLo + r.Intn(g.PriorityHi-g.PriorityLo+1),
-			SchedClass: g.MinClass + r.Intn(g.MaxClass-g.MinClass+1),
-			Constraint: jobCon[gi],
-		})
-	}
+	// The stream is already in submit order (arrival times are
+	// non-decreasing by construction); the stable sort only normalizes
+	// exact-tie ordering, which the ascending task IDs already encode.
 	tr.SortTasks()
 	return tr, nil
 }

@@ -1,0 +1,180 @@
+package harmony
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"harmony/internal/sim"
+	"harmony/internal/trace"
+)
+
+// StreamConfig parameterizes a streaming simulation run: the workload is
+// generated chunk by chunk and consumed in submit order, so peak memory
+// is O(live tasks + machines) instead of O(trace length). A 25M-task
+// Google-scale month fits on a laptop this way.
+type StreamConfig struct {
+	// Workload selects the generator parameters and cluster population,
+	// exactly as GenerateWorkload interprets them.
+	Workload WorkloadConfig
+	// ChunkSize is the generator refill granularity in tasks
+	// (default 4096).
+	ChunkSize int
+	// MaxDelaySamples caps the per-group scheduling-delay samples kept
+	// for the CDFs, via seeded reservoir sampling. Default 100 000;
+	// a negative value keeps every sample (exact CDFs, O(tasks) memory).
+	MaxDelaySamples int
+	// SampleEveryTasks is how often the scale meter reads the heap for
+	// the peak-heap proxy (default every 65 536 tasks).
+	SampleEveryTasks int64
+}
+
+func (cfg *StreamConfig) defaults() {
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 4096
+	}
+	switch {
+	case cfg.MaxDelaySamples == 0:
+		cfg.MaxDelaySamples = 100_000
+	case cfg.MaxDelaySamples < 0:
+		cfg.MaxDelaySamples = 0 // exact CDFs
+	}
+	if cfg.SampleEveryTasks <= 0 {
+		cfg.SampleEveryTasks = 65536
+	}
+}
+
+// ScaleMetrics reports the throughput and memory profile of a streaming
+// run. BytesPerTask counts cumulative allocation (runtime TotalAlloc
+// delta over the run divided by tasks), not live heap; PeakHeapBytes is
+// the largest live heap observed at the sample points and serves as an
+// RSS proxy.
+type ScaleMetrics struct {
+	Tasks          int64
+	WallSeconds    float64
+	TasksPerSecond float64
+	BytesPerTask   float64
+	PeakHeapBytes  uint64
+}
+
+// SimulateStream runs the selected policy over a generated task stream
+// without materializing the trace. The characterization is required for
+// the HARMONY policies (characterize a short materialized sample of the
+// same workload first) and may be nil for baseline/always-on.
+func SimulateStream(cfg StreamConfig, c *Characterization, simCfg SimulationConfig) (*SimulationResult, *ScaleMetrics, error) {
+	cfg.defaults()
+	simCfg.defaults()
+
+	wcfg := cfg.Workload
+	if wcfg.Hours <= 0 {
+		wcfg.Hours = 24
+	}
+	if wcfg.TasksPerSecond <= 0 {
+		wcfg.TasksPerSecond = 1
+	}
+	machines, models, err := clusterPopulation(wcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	genCfg := trace.DefaultConfig(wcfg.Seed)
+	genCfg.Horizon = wcfg.Hours * trace.Hour
+	genCfg.RatePerS = wcfg.TasksPerSecond
+	genCfg.Machines = machines
+	src, err := trace.NewGenSource(genCfg, cfg.ChunkSize)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harmony: stream workload: %w", err)
+	}
+
+	setup, err := buildPolicySetup(machines, models, c, simCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	meter := newMeterSource(src, cfg.SampleEveryTasks)
+	start := time.Now()
+	res, err := sim.Run(sim.Config{
+		Source:          meter,
+		Models:          models,
+		Price:           setup.price,
+		Policy:          setup.policy,
+		Period:          simCfg.PeriodSeconds,
+		NumTypes:        setup.numTypes,
+		TypeOf:          setup.typeOf,
+		Relabel:         setup.relabel,
+		SwitchCost:      setup.switchCost,
+		BootDelay:       simCfg.BootDelaySeconds,
+		MTBFHours:       simCfg.MTBFHours,
+		MaxDelaySamples: cfg.MaxDelaySamples,
+	})
+	wall := time.Since(start)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harmony: stream simulate %v: %w", simCfg.Policy, err)
+	}
+	if setup.harmony != nil && setup.harmony.Err() != nil {
+		return nil, nil, fmt.Errorf("harmony: policy error: %w", setup.harmony.Err())
+	}
+	return buildResult(res, setup.harmony), meter.metrics(wall), nil
+}
+
+// meterSource wraps a TaskSource and measures the run around it: task
+// count, allocation volume, and a sampled live-heap peak. It lives in
+// the root package — the deterministic internal packages must not read
+// the runtime clock or memory statistics themselves.
+type meterSource struct {
+	src        trace.TaskSource
+	every      int64
+	n          int64
+	startTotal uint64
+	peakHeap   uint64
+}
+
+func newMeterSource(src trace.TaskSource, every int64) *meterSource {
+	m := &meterSource{src: src, every: every}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.startTotal = ms.TotalAlloc
+	m.peakHeap = ms.HeapAlloc
+	return m
+}
+
+func (m *meterSource) Meta() trace.Meta { return m.src.Meta() }
+
+func (m *meterSource) Next(t *trace.Task) (bool, error) {
+	ok, err := m.src.Next(t)
+	if ok {
+		m.n++
+		if m.n%m.every == 0 {
+			m.sample()
+		}
+	}
+	return ok, err
+}
+
+func (m *meterSource) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > m.peakHeap {
+		m.peakHeap = ms.HeapAlloc
+	}
+}
+
+// metrics finalizes the measurements after the run completes. It takes
+// one last heap sample so short runs (fewer tasks than the sample
+// interval) still report a meaningful peak.
+func (m *meterSource) metrics(wall time.Duration) *ScaleMetrics {
+	m.sample()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out := &ScaleMetrics{
+		Tasks:         m.n,
+		WallSeconds:   wall.Seconds(),
+		PeakHeapBytes: m.peakHeap,
+	}
+	if m.n > 0 {
+		out.BytesPerTask = float64(ms.TotalAlloc-m.startTotal) / float64(m.n)
+	}
+	if out.WallSeconds > 0 {
+		out.TasksPerSecond = float64(m.n) / out.WallSeconds
+	}
+	return out
+}
