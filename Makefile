@@ -14,7 +14,7 @@ vet:
 # built once so the module isn't recompiled per invocation.
 lint: vet
 	$(GO) build -o bin/harmony-lint ./cmd/harmony-lint
-	./bin/harmony-lint ./...
+	./bin/harmony-lint -timing -timing-budget 120s ./...
 	./bin/harmony-lint -list | diff -u cmd/harmony-lint/testdata/analyzers.txt -
 
 test:

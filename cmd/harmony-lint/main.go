@@ -2,7 +2,7 @@
 // internal/lint over the module — the multichecker CI runs alongside go
 // vet. Exit status: 0 clean, 1 findings, 2 usage or load failure.
 //
-//	harmony-lint [-only a,b,...] [-pkg pattern] [-json|-sarif] [packages...]
+//	harmony-lint [-only a,b,...] [-pkg pattern] [-json|-sarif] [-timing] [packages...]
 //
 // With no packages it checks ./... from the enclosing module root.
 // -only (alias: -analyzers) restricts the run to a comma-separated
@@ -14,7 +14,11 @@
 // the call-path witness for interprocedural findings), sorted the same
 // way as the text output, with file paths relative to the working
 // directory. -sarif emits the same findings as a SARIF 2.1.0 log for
-// code-scanning upload. Findings can be suppressed in place with
+// code-scanning upload. -timing prints each analyzer's wall-clock cost
+// to stderr (stdout stays machine-parseable); -timing-budget fails the
+// run when any single analyzer exceeds the given duration, which CI uses
+// as a coarse performance regression tripwire. Findings can be
+// suppressed in place with
 // `//harmony:allow <analyzer> <reason>` on the flagged line or the line
 // above it; see internal/lint.
 package main
@@ -28,6 +32,7 @@ import (
 	"path"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"harmony/internal/lint"
 )
@@ -46,6 +51,8 @@ func run(args []string, out, errOut io.Writer) int {
 		list     = fs.Bool("list", false, "list analyzers and exit")
 		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array")
 		sarifOut = fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+		timing   = fs.Bool("timing", false, "print per-analyzer wall-clock timings to stderr")
+		budget   = fs.Duration("timing-budget", 0, "fail when any analyzer exceeds this wall-clock budget (implies -timing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,7 +105,15 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, err)
 		return 2
 	}
-	diags := lint.Check(pkgs, analyzers)
+	var (
+		diags   []lint.Diagnostic
+		timings []lint.AnalyzerTiming
+	)
+	if *timing || *budget > 0 {
+		diags, timings = lint.CheckTimed(pkgs, analyzers)
+	} else {
+		diags = lint.Check(pkgs, analyzers)
+	}
 	if *pkgPat != "" {
 		diags = filterDiagsByPkg(diags, pkgs, *pkgPat)
 	}
@@ -122,8 +137,22 @@ func run(args []string, out, errOut io.Writer) int {
 			fmt.Fprintln(out, d)
 		}
 	}
+	// Timings go to stderr so -json/-sarif stdout stays machine-parseable.
+	overBudget := false
+	for _, tm := range timings {
+		mark := ""
+		if *budget > 0 && tm.Elapsed > *budget {
+			mark = "  OVER BUDGET"
+			overBudget = true
+		}
+		fmt.Fprintf(errOut, "timing: %-14s %12s%s\n", tm.Name, tm.Elapsed.Round(time.Microsecond), mark)
+	}
 	if len(diags) > 0 {
 		fmt.Fprintf(errOut, "harmony-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	if overBudget {
+		fmt.Fprintf(errOut, "harmony-lint: per-analyzer budget %s exceeded\n", *budget)
 		return 1
 	}
 	return 0

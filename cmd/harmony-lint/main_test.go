@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"go/token"
 	"os"
 	"path/filepath"
@@ -12,12 +13,37 @@ import (
 	"harmony/internal/lint"
 )
 
+// -update rewrites the golden files from the current output instead of
+// diffing against them: go test ./cmd/harmony-lint -update
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// checkGolden diffs got against the named golden file, rewriting the
+// file instead when -update is set.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+		return
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Errorf("output drifted from testdata/%s (run with -update to regenerate):\n--- golden\n%s--- got\n%s",
+			name, golden, got)
+	}
+}
+
 func TestRunList(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("run -list = %d, stderr %q", code, errOut.String())
 	}
-	for _, name := range []string{"ctxflow", "deferclose", "floateq", "lockedfield", "lockorder", "nodeterm", "rngdiscipline", "sortedemit"} {
+	for _, name := range []string{"ctxflow", "deferclose", "divzero", "floateq", "lockedfield", "lockorder", "nansource", "nodeterm", "rngdiscipline", "sortedemit", "unitcheck"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -124,18 +150,11 @@ func TestRunCleanPackage(t *testing.T) {
 // set; CI diffs the binary's output against the same golden file, so
 // adding an analyzer without documenting it fails both.
 func TestRunListGolden(t *testing.T) {
-	golden, err := os.ReadFile(filepath.Join("testdata", "analyzers.txt"))
-	if err != nil {
-		t.Fatalf("read golden: %v", err)
-	}
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("run -list = %d, stderr %q", code, errOut.String())
 	}
-	if out.String() != string(golden) {
-		t.Errorf("-list output drifted from testdata/analyzers.txt:\n--- golden\n%s--- got\n%s",
-			golden, out.String())
-	}
+	checkGolden(t, "analyzers.txt", out.Bytes())
 }
 
 func TestRunListJSONConflict(t *testing.T) {
@@ -171,19 +190,18 @@ func TestWriteFindingsJSON(t *testing.T) {
 			Analyzer: "floateq",
 			Message:  "float == comparison",
 		},
+		{
+			Pos:      token.Position{Filename: "/work/repo/internal/energy/energy.go", Line: 133, Column: 14},
+			Analyzer: "unitcheck",
+			Message:  "scale mixing: W + kW without an annotated conversion (/1000 the W side)",
+			Path:     []string{"w := m.Power(u) [W]", "budget := g.idleKW [kW]"},
+		},
 	}
 	var out bytes.Buffer
 	if err := writeFindingsJSON(&out, base, diags); err != nil {
 		t.Fatalf("writeFindingsJSON: %v", err)
 	}
-	golden, err := os.ReadFile(filepath.Join("testdata", "findings.json"))
-	if err != nil {
-		t.Fatalf("read golden: %v", err)
-	}
-	if out.String() != string(golden) {
-		t.Errorf("-json output drifted from testdata/findings.json:\n--- golden\n%s--- got\n%s",
-			golden, out.String())
-	}
+	checkGolden(t, "findings.json", out.Bytes())
 }
 
 // TestWriteFindingsSARIF pins the -sarif shape against a golden file:
@@ -191,7 +209,7 @@ func TestWriteFindingsJSON(t *testing.T) {
 // folded into the message text.
 func TestWriteFindingsSARIF(t *testing.T) {
 	base := "/work/repo"
-	azs, err := lint.ByName([]string{"detertaint", "floateq"})
+	azs, err := lint.ByName([]string{"detertaint", "floateq", "unitcheck"})
 	if err != nil {
 		t.Fatalf("ByName: %v", err)
 	}
@@ -207,18 +225,47 @@ func TestWriteFindingsSARIF(t *testing.T) {
 			Analyzer: "floateq",
 			Message:  "float == comparison",
 		},
+		{
+			Pos:      token.Position{Filename: "/work/repo/internal/energy/energy.go", Line: 133, Column: 14},
+			Analyzer: "unitcheck",
+			Message:  "scale mixing: W + kW without an annotated conversion (/1000 the W side)",
+			Path:     []string{"w := m.Power(u) [W]", "budget := g.idleKW [kW]"},
+		},
 	}
 	var out bytes.Buffer
 	if err := writeFindingsSARIF(&out, base, azs, diags); err != nil {
 		t.Fatalf("writeFindingsSARIF: %v", err)
 	}
-	golden, err := os.ReadFile(filepath.Join("testdata", "findings.sarif"))
-	if err != nil {
-		t.Fatalf("read golden: %v", err)
+	checkGolden(t, "findings.sarif", out.Bytes())
+}
+
+// TestRunTiming drives -timing and -timing-budget through the real
+// loader: timings land on stderr (stdout stays clean for findings), one
+// line per analyzer, and an absurdly small budget trips exit 1.
+func TestRunTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
 	}
-	if out.String() != string(golden) {
-		t.Errorf("-sarif output drifted from testdata/findings.sarif:\n--- golden\n%s--- got\n%s",
-			golden, out.String())
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-timing", "-only", "floateq,divzero", "./internal/queueing"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -timing = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("timing output leaked onto stdout:\n%s", out.String())
+	}
+	for _, name := range []string{"timing: divzero", "timing: floateq"} {
+		if !strings.Contains(errOut.String(), name) {
+			t.Errorf("stderr missing %q:\n%s", name, errOut.String())
+		}
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-timing-budget", "1ns", "-only", "floateq", "./internal/queueing"}, &out, &errOut); code != 1 {
+		t.Fatalf("run -timing-budget 1ns = %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "OVER BUDGET") || !strings.Contains(errOut.String(), "budget 1ns exceeded") {
+		t.Errorf("stderr missing budget failure:\n%s", errOut.String())
 	}
 }
 

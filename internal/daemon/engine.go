@@ -37,16 +37,20 @@ type Config struct {
 	Models   []energy.Model
 	Char     *classify.Characterization
 
-	Mode          core.Mode // CBS (default) or CBP
-	PeriodSeconds float64   // control period in model time (default 300)
-	Horizon       int       // MPC look-ahead periods (default 2)
-	Epsilon       float64   // container-sizing overflow bound (default 0.25)
-	Omega         float64   // over-provisioning factor (default 1.05)
-	SLODelay      map[trace.PriorityGroup]float64
+	Mode core.Mode // CBS (default) or CBP
+	//harmony:unit(s)
+	PeriodSeconds float64 // control period in model time (default 300)
+	Horizon       int     // MPC look-ahead periods (default 2)
+	Epsilon       float64 // container-sizing overflow bound (default 0.25)
+	Omega         float64 // over-provisioning factor (default 1.05)
+	//harmony:unit(s)
+	SLODelay map[trace.PriorityGroup]float64
 	// PricePerKWh is the flat electricity price (default 0.08).
+	//harmony:unit($/kWh)
 	PricePerKWh float64
 	// SwitchCostDollars is the per-transition cost of the largest
 	// machine; other types scale by idle power (default 0.01).
+	//harmony:unit($)
 	SwitchCostDollars float64
 	Forecaster        sched.PredictorKind
 

@@ -28,18 +28,28 @@ type Model struct {
 	CPUCap float64 // normalized CPU capacity (largest machine = 1)
 	MemCap float64 // normalized memory capacity
 
-	IdleWatts float64 // E_idle,m: draw when on but idle
-	AlphaCPU  float64 // α for CPU utilization (watts at u=1)
-	AlphaMem  float64 // α for memory utilization (watts at u=1)
+	// E_idle,m: draw when on but idle
+	//harmony:unit(W)
+	IdleWatts float64
+	// α for CPU utilization (watts at u=1)
+	//harmony:unit(W)
+	AlphaCPU float64
+	// α for memory utilization (watts at u=1)
+	//harmony:unit(W)
+	AlphaMem float64
 }
 
 // Power returns the electrical draw in watts at the given utilizations
 // (each in [0,1], clamped). This is Eq. 7's per-machine term.
+//
+//harmony:unit(W) return
 func (m Model) Power(cpuUtil, memUtil float64) float64 {
 	return m.IdleWatts + m.AlphaCPU*clamp01(cpuUtil) + m.AlphaMem*clamp01(memUtil)
 }
 
 // PeakWatts returns the draw at full utilization.
+//
+//harmony:unit(W) return
 func (m Model) PeakWatts() float64 { return m.Power(1, 1) }
 
 // EfficiencyAtPeak returns normalized capacity delivered per watt at full
@@ -156,25 +166,35 @@ type CurvePoint struct {
 
 // Price is a time-varying electricity price in dollars per kWh.
 type Price interface {
-	At(t float64) float64 // t in seconds since simulation start
+	// At returns the price at t seconds since simulation start.
+	//harmony:unit($/kWh)
+	At(t float64) float64
 }
 
 // FlatPrice is a constant electricity price.
+//
+//harmony:unit($/kWh)
 type FlatPrice float64
 
 // At implements Price.
+//
+//harmony:unit($/kWh) return
 func (p FlatPrice) At(float64) float64 { return float64(p) }
 
 // DiurnalPrice follows a daily sinusoid: Base + Amplitude·sin(2πt/day +
 // phase), floored at zero. It models the run-time electricity price feed
 // the paper's objective multiplies energy by.
 type DiurnalPrice struct {
-	Base      float64 // $/kWh
-	Amplitude float64 // $/kWh
+	//harmony:unit($/kWh)
+	Base float64
+	//harmony:unit($/kWh)
+	Amplitude float64
 	PhaseHour float64 // hour of day at which the sinusoid crosses upward
 }
 
 // At implements Price.
+//
+//harmony:unit($/kWh) return
 func (p DiurnalPrice) At(t float64) float64 {
 	v := p.Base + p.Amplitude*math.Sin(2*math.Pi*(t/trace.Day)-p.PhaseHour*2*math.Pi/24)
 	if v < 0 {
@@ -183,15 +203,21 @@ func (p DiurnalPrice) At(t float64) float64 {
 	return v
 }
 
-// Cost converts a power draw sustained for an interval into dollars.
+// Cost converts a power draw sustained for an interval into dollars:
+// W/1000 → kW, ·s/3600 → kWh, ·$/kWh → $. unitcheck verifies the chain.
+//
+//harmony:unit(W) watts
+//harmony:unit(s) seconds
+//harmony:unit($/kWh) dollarsPerKWh
+//harmony:unit($) return
 func Cost(watts, seconds, dollarsPerKWh float64) float64 {
 	return watts / 1000 * seconds / 3600 * dollarsPerKWh
 }
 
 // Meter accumulates cluster energy and cost over a simulation.
 type Meter struct {
-	joules  float64
-	dollars float64
+	joules  float64 //harmony:unit(J)
+	dollars float64 //harmony:unit($)
 }
 
 // ErrBadInterval is returned by Accumulate for negative intervals.
@@ -199,6 +225,10 @@ var ErrBadInterval = errors.New("energy: negative interval")
 
 // Accumulate records a power draw sustained for an interval at the given
 // price.
+//
+//harmony:unit(W) watts
+//harmony:unit(s) seconds
+//harmony:unit($/kWh) dollarsPerKWh
 func (m *Meter) Accumulate(watts, seconds, dollarsPerKWh float64) error {
 	if seconds < 0 {
 		return ErrBadInterval
@@ -209,9 +239,13 @@ func (m *Meter) Accumulate(watts, seconds, dollarsPerKWh float64) error {
 }
 
 // KWh returns total energy recorded in kilowatt-hours.
+//
+//harmony:unit(kWh) return
 func (m *Meter) KWh() float64 { return m.joules / 3.6e6 }
 
 // Dollars returns total energy cost recorded.
+//
+//harmony:unit($) return
 func (m *Meter) Dollars() float64 { return m.dollars }
 
 func clamp01(x float64) float64 {

@@ -195,6 +195,9 @@ func leastSquares(x [][]float64, y []float64) ([]float64, error) {
 		return nil, ErrTooShort
 	}
 	cols := len(x[0])
+	if cols == 0 {
+		return nil, ErrTooShort
+	}
 	// Build XtX and Xty.
 	xtx := make([][]float64, cols)
 	xty := make([]float64, cols)

@@ -126,6 +126,9 @@ func TestLockedFieldFixture(t *testing.T)   { runFixture(t, LockedField) }
 func TestGoLeakFixture(t *testing.T)        { runFixture(t, GoLeak) }
 func TestHotPathAllocFixture(t *testing.T)  { runFixture(t, HotPathAlloc) }
 func TestErrFlowFixture(t *testing.T)       { runFixture(t, ErrFlow) }
+func TestUnitCheckFixture(t *testing.T)     { runFixture(t, UnitCheck) }
+func TestDivZeroFixture(t *testing.T)       { runFixture(t, DivZero) }
+func TestNaNSourceFixture(t *testing.T)     { runFixture(t, NaNSource) }
 
 // unusedallow consumes the other analyzers' suppression bookkeeping, so
 // its fixture co-runs floateq: one allow in the fixture suppresses a real
@@ -223,6 +226,35 @@ func TestScopes(t *testing.T) {
 		!lockedfieldCovered("fixture/lockedfield") ||
 		lockedfieldCovered("harmony/internal/core") {
 		t.Error("lockedfield scope wrong")
+	}
+	// The value-flow analyzers share the annotated numeric surface (the
+	// energy→cost and demand chains) plus their own fixture trees;
+	// unitcheck additionally collects (but does not check) daemon's
+	// config annotations.
+	for _, pkg := range []string{
+		"harmony/internal/energy", "harmony/internal/tenant",
+		"harmony/internal/core", "harmony/internal/queueing",
+		"harmony/internal/forecast", "harmony/internal/sched",
+		"harmony/internal/trace",
+	} {
+		if !unitcheckCovered(pkg) || !divzeroCovered(pkg) || !nansourceCovered(pkg) {
+			t.Errorf("value-flow analyzers should cover %s", pkg)
+		}
+	}
+	if !unitcheckCovered("fixture/unitcheck") || unitcheckCovered("fixture/divzero") ||
+		unitcheckCovered("harmony/internal/daemon") || unitcheckCovered("harmony/internal/stats") {
+		t.Error("unitcheck scope wrong")
+	}
+	if !unitAnnotCovered("harmony/internal/daemon") || unitAnnotCovered("harmony/internal/stats") {
+		t.Error("unitcheck annotation-collection scope wrong")
+	}
+	if !divzeroCovered("fixture/divzero") || divzeroCovered("fixture/unitcheck") ||
+		divzeroCovered("harmony/internal/lp") {
+		t.Error("divzero scope wrong")
+	}
+	if !nansourceCovered("fixture/nansource") || nansourceCovered("fixture/divzero") ||
+		nansourceCovered("harmony/internal/stats") {
+		t.Error("nansource scope wrong")
 	}
 }
 

@@ -119,6 +119,70 @@ b13 exit:
 `)
 }
 
+// TestCFGGoto pins goto resolution in both directions: the backward
+// goto loop re-enters the labeled block, the forward goto done jumps
+// out over statements that then lower into an unreachable dead block.
+func TestCFGGoto(t *testing.T) {
+	checkCFG(t, `
+func gt(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	goto done
+	i = -1
+done:
+	return i
+}`, `
+b0 entry: [i := 0] -> b1
+b1 label.loop: [i < n] -> b2 b3
+b2 if.then: [i++] -> b1
+b3 if.done: -> b5
+b4 dead: [i = -1] -> b5
+b5 label.done: [return i] -> b6
+b6 exit:
+`)
+}
+
+// TestCFGNestedFallthrough pins fallthrough at two nesting depths: the
+// inner switch's fallthrough chains case 1 into case 2's body, and the
+// outer fallthrough chains case 0's whole aftermath into case 3 —
+// without the inner switch's cases leaking into the outer chain.
+func TestCFGNestedFallthrough(t *testing.T) {
+	checkCFG(t, `
+func sw(x int) int {
+	n := 0
+	switch x {
+	case 0:
+		switch x {
+		case 1:
+			n = 1
+			fallthrough
+		case 2:
+			n = 2
+		}
+		fallthrough
+	case 3:
+		n += 3
+	default:
+		n = 9
+	}
+	return n
+}`, `
+b0 entry: [n := 0] [x] -> b2 b3 b4
+b1 switch.done: [return n] -> b8
+b2 switch.case: [0] [x] -> b6 b7 b5
+b3 switch.case: [3] [n += 3] -> b1
+b4 switch.default: [n = 9] -> b1
+b5 switch.done: -> b3
+b6 switch.case: [1] [n = 1] -> b7
+b7 switch.case: [2] [n = 2] -> b5
+b8 exit:
+`)
+}
+
 // --- dataflow solver ---------------------------------------------------
 
 // kindsProblem collects the set of block kinds traversed from the
@@ -244,6 +308,90 @@ func f(c bool) {
 	}
 	if got, want := kindSet(in), "exit if.done if.then"; got != want {
 		t.Errorf("kinds leaving entry (backward) = %q, want %q", got, want)
+	}
+}
+
+// liveProblem is textbook liveness — a genuinely backward kill/gen
+// problem, unlike the saturating kind-collector above: facts are sets of
+// variable names, an assignment kills its target before generating its
+// operands, and Transfer replays each block's Nodes in reverse.
+type liveProblem struct{}
+
+func (liveProblem) Boundary() map[string]bool { return map[string]bool{} }
+
+func (liveProblem) Transfer(b *Block, in map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(in))
+	for k := range in {
+		out[k] = true
+	}
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		n := b.Nodes[i]
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				delete(out, id.Name) // kill before gen: x := x+1 keeps x live
+			}
+			for _, rhs := range as.Rhs {
+				ast.Inspect(rhs, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+					return true
+				})
+			}
+			continue
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (liveProblem) Merge(a, b map[string]bool) map[string]bool {
+	return kindsProblem{}.Merge(a, b)
+}
+
+func (liveProblem) Equal(a, b map[string]bool) bool {
+	return kindsProblem{}.Equal(a, b)
+}
+
+// TestSolveLiveness drives liveness through the backward solver and
+// pins the per-block facts: every parameter is live at function start,
+// the killed temporary x is dead there, only a survives into the
+// overwriting branch, and only y is live at the join's start.
+func TestSolveLiveness(t *testing.T) {
+	_, body := parseBody(t, `
+func f(a, b, c int) int {
+	x := a + b
+	y := x * 2
+	if c > 0 {
+		y = a
+	}
+	return y
+}`)
+	c := NewCFG(body)
+	sol := Solve(c, liveProblem{}, Backward)
+
+	// Backward flow: Out[blk] is the fact at the block's *start*.
+	wantAtStart := map[string]string{
+		"entry":   "a b c",
+		"if.then": "a",
+		"if.done": "y",
+	}
+	for _, blk := range c.Blocks {
+		want, ok := wantAtStart[blk.Kind]
+		if !ok {
+			continue
+		}
+		if got := kindSet(sol.Out[blk]); got != want {
+			t.Errorf("live at start of %s = %q, want %q", blk.Kind, got, want)
+		}
+	}
+	if live := sol.Out[c.Entry]; live["x"] || live["y"] {
+		t.Errorf("x/y live at function start: %q — kills not applied", kindSet(live))
 	}
 }
 

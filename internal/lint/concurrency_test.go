@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// renderDiags flattens diagnostics (including witness paths) into one
+// byte string so runs can be compared for literal equality.
+func renderDiags(ds []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range ds {
+		sb.WriteString(d.String())
+		for _, step := range d.Path {
+			sb.WriteString(" <- ")
+			sb.WriteString(step)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestDeterministicUnderGOMAXPROCS pins the concurrent engine's core
+// contract: the rendered findings of a full multi-analyzer run are
+// byte-identical at GOMAXPROCS 1, 4, and 8. The fixture trees are rich
+// enough that every analyzer contributes findings, so a scheduling-
+// dependent merge would show up as a reordered or dropped line.
+func TestDeterministicUnderGOMAXPROCS(t *testing.T) {
+	var pkgs []*Package
+	for _, az := range All() {
+		if az.Name == UnusedAllow.Name {
+			continue
+		}
+		tree, err := sharedLoader(t).LoadFixtureTree(filepath.Join("testdata", "src", az.Name))
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", az.Name, err)
+		}
+		pkgs = append(pkgs, tree...)
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	var baseline string
+	for _, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		var rendered []string
+		for rep := 0; rep < 3; rep++ {
+			got := renderDiags(checkAll(pkgs, All(), false))
+			if got == "" {
+				t.Fatal("fixture run produced no findings; determinism check is vacuous")
+			}
+			rendered = append(rendered, got)
+		}
+		for rep, got := range rendered {
+			if baseline == "" {
+				baseline = got
+				continue
+			}
+			if got != baseline {
+				t.Fatalf("GOMAXPROCS=%d rep=%d: findings differ from baseline:\n%s",
+					procs, rep, firstDiff(baseline, got))
+			}
+		}
+	}
+}
+
+// TestCheckTimedMatchesCheck pins that the timing wrapper changes
+// nothing about the findings and reports one timing per analyzer run.
+func TestCheckTimedMatchesCheck(t *testing.T) {
+	pkgs, err := sharedLoader(t).LoadFixtureTree(filepath.Join("testdata", "src", "divzero"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	azs := []*Analyzer{DivZero, NaNSource}
+	plain, _ := checkTimed(pkgs, azs, false)
+	timed, timings := checkTimed(pkgs, azs, false)
+	if renderDiags(plain) != renderDiags(timed) {
+		t.Error("CheckTimed diagnostics differ from Check")
+	}
+	if len(timings) != 2 || timings[0].Name != "divzero" || timings[1].Name != "nansource" {
+		t.Errorf("timings = %v, want one entry each for divzero and nansource", timings)
+	}
+	for _, tm := range timings {
+		if tm.Elapsed < 0 {
+			t.Errorf("negative elapsed time for %s: %v", tm.Name, tm.Elapsed)
+		}
+	}
+}
+
+// firstDiff returns a short context around the first differing line.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  baseline: %s\n  got:      %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("length differs: %d vs %d lines", len(al), len(bl))
+}

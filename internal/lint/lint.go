@@ -40,6 +40,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Diagnostic is one finding. Path, when non-empty, is the call-chain
@@ -132,20 +134,48 @@ func (p *ModulePass) Allowed(name string, pos token.Pos) bool {
 // package/file scope and the //harmony:allow annotations, and returns the
 // surviving diagnostics sorted by position.
 func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	return checkAll(pkgs, analyzers, true)
+	ds, _ := checkTimed(pkgs, analyzers, true)
+	return ds
 }
 
-// checkAll is the shared engine behind Check and the fixture runner. When
-// scoped is false the Packages/Files predicates are ignored (fixture
-// mode); allow annotations are honored either way. Per-package analyzers
-// run first, then module analyzers over the call graph, and finally
-// unusedallow — which must come last because it reports the annotations
-// nothing before it consumed.
+// AnalyzerTiming is one analyzer's wall-clock cost in a CheckTimed run.
+// Analyzers run concurrently, so the sum of Elapsed generally exceeds the
+// run's wall time; each entry is the budget -timing enforces per analyzer.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// CheckTimed is Check plus per-analyzer wall-clock timings, sorted by
+// analyzer name. The diagnostics are byte-identical to Check's.
+func CheckTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming) {
+	return checkTimed(pkgs, analyzers, true)
+}
+
 func checkAll(pkgs []*Package, analyzers []*Analyzer, scoped bool) []Diagnostic {
+	ds, _ := checkTimed(pkgs, analyzers, scoped)
+	return ds
+}
+
+// checkTimed is the shared engine behind Check, CheckTimed, and the
+// fixture runner. When scoped is false the Packages/Files predicates are
+// ignored (fixture mode); allow annotations are honored either way.
+//
+// Analyzers are independent of each other — they share only read-only
+// package/type data, the prebuilt call graph, and the allowSet (which
+// serializes its monotone used-marking internally) — so each one runs in
+// its own goroutine. Determinism survives the concurrency because every
+// analyzer's findings land in a slot fixed by its position in the input
+// slice, slots are merged in that order after the barrier, and the final
+// stable sort breaks all remaining ties by (position, analyzer, message).
+// unusedallow cannot join the pool: it reports the annotations nothing
+// else consumed, so it runs after the barrier.
+func checkTimed(pkgs []*Package, analyzers []*Analyzer, scoped bool) ([]Diagnostic, []AnalyzerTiming) {
 	allows := collectAllows(pkgs...)
 	ran := make(map[string]bool)
 	unused := false
-	var moduleAzs []*Analyzer
+	needGraph := false
+	var workers []*Analyzer
 	for _, az := range analyzers {
 		if az.Name == UnusedAllow.Name {
 			unused = true
@@ -153,45 +183,33 @@ func checkAll(pkgs []*Package, analyzers []*Analyzer, scoped bool) []Diagnostic 
 		}
 		ran[az.Name] = true
 		if az.RunModule != nil {
-			moduleAzs = append(moduleAzs, az)
+			needGraph = true
 		}
+		workers = append(workers, az)
 	}
+
+	var g *Graph
+	if needGraph {
+		g = BuildGraph(pkgs)
+	}
+
+	results := make([][]Diagnostic, len(workers))
+	timings := make([]AnalyzerTiming, len(workers))
+	var wg sync.WaitGroup
+	for i, az := range workers {
+		wg.Add(1)
+		go func(i int, az *Analyzer) {
+			defer wg.Done()
+			start := time.Now()
+			results[i] = runOneAnalyzer(pkgs, az, g, allows, scoped)
+			timings[i] = AnalyzerTiming{Name: az.Name, Elapsed: time.Since(start)}
+		}(i, az)
+	}
+	wg.Wait()
 
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		for _, az := range analyzers {
-			if az.Run == nil {
-				continue
-			}
-			if scoped && az.Packages != nil && !az.Packages(pkg.Path) {
-				continue
-			}
-			pass := &Pass{Analyzer: az, Pkg: pkg}
-			az.Run(pass)
-			for _, d := range pass.diags {
-				if scoped && az.Files != nil && !az.Files(pkg.Path, d.Pos.Filename) {
-					continue
-				}
-				if allows.allows(az.Name, d.Pos) {
-					continue
-				}
-				out = append(out, d)
-			}
-		}
-	}
-
-	if len(moduleAzs) > 0 {
-		g := BuildGraph(pkgs)
-		for _, az := range moduleAzs {
-			mp := &ModulePass{Analyzer: az, Pkgs: pkgs, Graph: g, allows: allows}
-			az.RunModule(mp)
-			for _, d := range mp.diags {
-				if allows.allows(az.Name, d.Pos) {
-					continue
-				}
-				out = append(out, d)
-			}
-		}
+	for _, ds := range results {
+		out = append(out, ds...)
 	}
 
 	if unused {
@@ -214,11 +232,47 @@ func checkAll(pkgs []*Package, analyzers []*Analyzer, scoped bool) []Diagnostic 
 	}
 
 	sortDiagnostics(out)
+	sort.Slice(timings, func(i, j int) bool { return timings[i].Name < timings[j].Name })
+	return out, timings
+}
+
+// runOneAnalyzer produces one analyzer's post-filter findings: the
+// per-analyzer unit of work the concurrent engine fans out.
+func runOneAnalyzer(pkgs []*Package, az *Analyzer, g *Graph, allows *allowSet, scoped bool) []Diagnostic {
+	var out []Diagnostic
+	if az.Run != nil {
+		for _, pkg := range pkgs {
+			if scoped && az.Packages != nil && !az.Packages(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: az, Pkg: pkg}
+			az.Run(pass)
+			for _, d := range pass.diags {
+				if scoped && az.Files != nil && !az.Files(pkg.Path, d.Pos.Filename) {
+					continue
+				}
+				if allows.allows(az.Name, d.Pos) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	if az.RunModule != nil {
+		mp := &ModulePass{Analyzer: az, Pkgs: pkgs, Graph: g, allows: allows}
+		az.RunModule(mp)
+		for _, d := range mp.diags {
+			if allows.allows(az.Name, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
 	return out
 }
 
 func sortDiagnostics(ds []Diagnostic) {
-	sort.Slice(ds, func(i, j int) bool {
+	sort.SliceStable(ds, func(i, j int) bool {
 		a, b := ds[i], ds[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
@@ -251,13 +305,18 @@ type allowAnn struct {
 // enclosing contiguous comment block — so a regular // comment between
 // the annotation and the flagged code does not break the binding.
 type allowSet struct {
+	mu     sync.Mutex                     // serializes used-marking across concurrent analyzers
 	byLine map[string]map[int][]*allowAnn // file -> bound line -> annotations
 	anns   []*allowAnn                    // collection order, for unusedallow
 }
 
 // allows reports whether a diagnostic from the named analyzer at pos is
-// suppressed, marking the matching annotation as used.
+// suppressed, marking the matching annotation as used. The marking is
+// monotone (used only ever flips to true), so the answer is independent
+// of the interleaving of concurrent analyzers.
 func (a *allowSet) allows(name string, pos token.Position) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	hit := false
 	for _, ann := range a.byLine[pos.Filename][pos.Line] {
 		if ann.analyzer == name {
@@ -344,15 +403,18 @@ func All() []*Analyzer {
 		CtxFlow,
 		DeferClose,
 		DeterTaint,
+		DivZero,
 		ErrFlow,
 		FloatEq,
 		GoLeak,
 		HotPathAlloc,
 		LockedField,
 		LockOrder,
+		NaNSource,
 		NoDeterm,
 		RNGDiscipline,
 		SortedEmit,
+		UnitCheck,
 		UnusedAllow,
 	}
 }

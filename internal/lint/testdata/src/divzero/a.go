@@ -1,0 +1,91 @@
+// Package divzero exercises the may-zero denominator analyzer: zero
+// constants, zero values, unguarded lengths, zero-initialized counters,
+// and zero-capable callees are evidence; guards and parameters are not.
+package divzero
+
+// ConstZero divides by a variable assigned the constant 0.
+func ConstZero(x float64) float64 {
+	n := 0.0
+	return x / n // want `possible division by zero: n is assigned the constant 0`
+}
+
+// ZeroValue divides by a declared-but-never-assigned variable.
+func ZeroValue(x float64) float64 {
+	var d float64
+	return x / d // want `possible division by zero: d starts at its zero value`
+}
+
+// Counter is the zero-initialized-counter pattern: the loop may run
+// zero times, so the init def still reaches the division.
+func Counter(xs []float64) float64 {
+	sum := 0.0
+	count := 0
+	for _, v := range xs {
+		sum += v
+		count++
+	}
+	return sum / float64(count) // want `possible division by zero: count is assigned the constant 0`
+}
+
+// UnguardedLen divides by a length that was never checked.
+func UnguardedLen(xs []float64) float64 {
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs)) // want `possible division by zero: len\(xs\) is unguarded`
+}
+
+// UnguardedLenVar stores the length first; the def is the evidence.
+func UnguardedLenVar(xs []float64) float64 {
+	n := float64(len(xs))
+	return 1 / n // want `possible division by zero: n is assigned len\(xs\) with no nonempty guard`
+}
+
+// GuardedLen checks emptiness before dividing: clean.
+func GuardedLen(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// GuardedLenVar takes the length under the guard: clean.
+func GuardedLenVar(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := float64(len(xs))
+	return 1 / n
+}
+
+// GuardedVar tests the denominator directly: clean.
+func GuardedVar(x, d float64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return x / d
+}
+
+// zeroOr can return 0; dividing by its result is flagged.
+func zeroOr(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// CalleeZero divides by a callee that can return zero.
+func CalleeZero(x, y float64) float64 {
+	d := zeroOr(y)
+	return x / d // want `possible division by zero: d is assigned from divzero.zeroOr, which can return 0`
+}
+
+// Param divides by a bare parameter: callers own that contract, clean.
+func Param(x, d float64) float64 {
+	return x / d
+}

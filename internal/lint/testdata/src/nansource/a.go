@@ -1,0 +1,61 @@
+// Package nansource exercises the NaN/Inf-minting analyzer: log and
+// sqrt of unvalidated inputs and the x/x shape are flagged; dominating
+// guards, provably-signed arguments, and explicit IsNaN checks pass.
+package nansource
+
+import "math"
+
+// LogUnvalidated takes the log of a bare parameter.
+func LogUnvalidated(x float64) float64 {
+	return math.Log(x) // want `math\.Log of x, which is not provably positive, can mint NaN/-Inf and flows into a return`
+}
+
+// LogGuarded dominates the call with a positivity guard: clean.
+func LogGuarded(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log(x)
+}
+
+// SqrtUnvalidated roots a difference that can be negative.
+func SqrtUnvalidated(a, b float64) float64 {
+	d := a - b
+	return math.Sqrt(d) // want `math\.Sqrt of d, which is not provably non-negative, can mint NaN and flows into a return`
+}
+
+// SqrtSquare roots a square: provably non-negative, clean.
+func SqrtSquare(x float64) float64 {
+	return math.Sqrt(x * x)
+}
+
+// SqrtLen roots a length: non-negative by construction, clean.
+func SqrtLen(xs []float64) float64 {
+	return math.Sqrt(float64(len(xs)))
+}
+
+// SelfDivide normalizes an accumulator by itself without a guard.
+func SelfDivide(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total / total // want `total / total is NaN when total is zero`
+}
+
+// SelfDivideGuarded proves the accumulator nonzero first: clean.
+func SelfDivideGuarded(total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return total / total
+}
+
+// Checked validates its result with IsNaN: its own business, clean.
+func Checked(q float64) float64 {
+	v := math.Log(q)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,112 @@
+// Package unitcheck exercises the dimension/scale analyzer: the seeded
+// W+kW mixing, the unannotated /1000 hop, call/return/composite-literal
+// mismatches, interprocedural summaries, and the malformed-annotation
+// reporting.
+package unitcheck
+
+// Rack models one rack's power accounting.
+type Rack struct {
+	//harmony:unit(W)
+	IdleW float64
+	//harmony:unit(kW)
+	BudgetKW float64
+	//harmony:unit(s)
+	Uptime float64
+}
+
+// Samples carries a kW-valued series.
+type Samples struct {
+	//harmony:unit(kW)
+	KW []float64
+}
+
+// Tariff is an annotated named type.
+//
+//harmony:unit($/kWh)
+type Tariff float64
+
+// cost mirrors the production energy.Cost chain; unitcheck verifies the
+// body infers $ end to end.
+//
+//harmony:unit(W) watts
+//harmony:unit(s) seconds
+//harmony:unit($/kWh) price
+//harmony:unit($) return
+func cost(watts, seconds, price float64) float64 {
+	return watts / 1000 * seconds / 3600 * price
+}
+
+// AddMixed is the seeded W + kW bug: same dimension, different scale.
+func AddMixed(r Rack) float64 {
+	return r.IdleW + r.BudgetKW // want `scale mixing: W \+ kW without an annotated conversion`
+}
+
+// HopMissing stores raw watts into a kW field without the /1000.
+func HopMissing(r *Rack) {
+	w := r.IdleW * 2
+	r.BudgetKW = w // want `unannotated scale hop: assigning W value to kW target r\.BudgetKW \(convert with /1000\)`
+}
+
+// HopAnnotated is the correct conversion; no finding.
+func HopAnnotated(r *Rack) {
+	r.BudgetKW = r.IdleW / 1000
+}
+
+// CompareMismatch compares seconds against watts.
+func CompareMismatch(r Rack) bool {
+	return r.Uptime > r.IdleW // want `unit mismatch: s > W`
+}
+
+// BadCall passes kilowatts where watts are expected.
+func BadCall(r Rack) float64 {
+	return cost(r.BudgetKW, r.Uptime, 0.08) // want `unannotated scale hop: argument 1 to unitcheck.cost is kW but parameter watts is W \(convert with \*1000\)`
+}
+
+// BadReturn returns hours from a seconds-valued function.
+//
+//harmony:unit(s) return
+func BadReturn(r Rack) float64 {
+	h := r.Uptime / 3600
+	return h // want `unannotated scale hop: returning h from unitcheck.BadReturn, whose result is declared s \(convert with \*3600\)`
+}
+
+// BadLit seeds a dimension mismatch in a composite literal.
+func BadLit(r Rack) Rack {
+	return Rack{IdleW: r.Uptime} // want `unit mismatch: field IdleW is W but the value is s`
+}
+
+// baseDraw feeds the interprocedural summary below.
+//
+//harmony:unit(W)
+var baseDraw float64
+
+// doubled has no annotation; its result is summarized to W from its
+// return expression.
+func doubled() float64 { return baseDraw * 2 }
+
+// SummaryMismatch stores the summarized W into kW.
+func SummaryMismatch(r *Rack) {
+	d := doubled()
+	r.BudgetKW = d // want `unannotated scale hop: assigning W value to kW target r\.BudgetKW`
+}
+
+// MixedSum accumulates kW through a range loop, then mixes in W.
+func MixedSum(s Samples, r Rack) float64 {
+	sum := 0.0
+	for _, v := range s.KW {
+		sum += v
+	}
+	return sum + r.IdleW // want `scale mixing: kW \+ W without an annotated conversion`
+}
+
+// TariffMismatch adds a price to a power draw.
+func TariffMismatch(t Tariff, r Rack) float64 {
+	return float64(t) + r.IdleW // want `unit mismatch: \$/kWh \+ W`
+}
+
+// Literals adopt the declared unit: no findings here.
+func Literals() Rack {
+	r := Rack{IdleW: 60, BudgetKW: 0.06, Uptime: 300}
+	r.IdleW = 120
+	return r
+}

@@ -1,0 +1,32 @@
+package unitcheck
+
+// Malformed and stale annotations are reported, never silently ignored.
+
+//harmony:unit(parsec) // want `malformed //harmony:unit\(parsec\): unknown unit "parsec"`
+var Distance float64
+
+//harmony:unit(W/) // want `malformed //harmony:unit\(W/\): trailing operator`
+var Trailing float64
+
+//harmony:unit // want `malformed //harmony:unit: missing \(EXPR\)`
+var NoParen float64
+
+//harmony:unit(W) nosuch // want `badBinding has no parameter or result named "nosuch"`
+func badBinding(x float64) float64 { return x }
+
+//harmony:unit(W) return 3 // want `badIndex has 1 result\(s\)`
+func badIndex() float64 { return 1 }
+
+//harmony:unit(W) // want `on a function needs a binding`
+func noBinding() float64 { return 1 }
+
+func stale() float64 {
+	//harmony:unit(W) // want `binds to no annotatable declaration`
+	x := 1.0
+	return x
+}
+
+var _ = badBinding
+var _ = badIndex
+var _ = noBinding
+var _ = stale

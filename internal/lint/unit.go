@@ -1,0 +1,299 @@
+package lint
+
+// The dimension algebra behind unitcheck. A unit is an integer exponent
+// vector over the six base dimensions of Harmony's control path — power,
+// time, money, task, machine, period — plus a scale factor relating the
+// unit to the base unit of its dimension class (W, s, $, task, machine,
+// period). kW is power at scale 1000: a value of 2 in kW denotes 2000 in
+// base W. Energy is the product dimension power·time (J at scale 1, kWh
+// at scale 3.6e6).
+//
+// Scale is how conversions stay honest: multiplying a value by a
+// recognized conversion constant divides its scale (watts/1000 is kW),
+// and additions/comparisons require both dims and scale to agree —
+// same-dimension different-scale operands are "scale mixing", the
+// unannotated kW-vs-W bug class this algebra exists to catch.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	dimPower = iota
+	dimTime
+	dimMoney
+	dimTask
+	dimMachine
+	dimPeriod
+	numDims
+)
+
+type dimVec [numDims]int8
+
+func (d dimVec) isScalar() bool { return d == dimVec{} }
+
+// unit is one point of the algebra. The zero value is the unknown unit.
+type unit struct {
+	dims  dimVec
+	scale float64
+	known bool
+}
+
+var scalarUnit = unit{scale: 1, known: true}
+
+// namedUnits is the annotation vocabulary. Scales are base-units-per-1:
+// a value of 1 kWh is 3.6e6 base W·s.
+var namedUnits = map[string]unit{
+	"1":       scalarUnit,
+	"W":       {dims: dv(dimPower, 1), scale: 1, known: true},
+	"kW":      {dims: dv(dimPower, 1), scale: 1000, known: true},
+	"MW":      {dims: dv(dimPower, 1), scale: 1e6, known: true},
+	"J":       {dims: dvv(dimPower, 1, dimTime, 1), scale: 1, known: true},
+	"Wh":      {dims: dvv(dimPower, 1, dimTime, 1), scale: 3600, known: true},
+	"kWh":     {dims: dvv(dimPower, 1, dimTime, 1), scale: 3.6e6, known: true},
+	"s":       {dims: dv(dimTime, 1), scale: 1, known: true},
+	"min":     {dims: dv(dimTime, 1), scale: 60, known: true},
+	"h":       {dims: dv(dimTime, 1), scale: 3600, known: true},
+	"$":       {dims: dv(dimMoney, 1), scale: 1, known: true},
+	"task":    {dims: dv(dimTask, 1), scale: 1, known: true},
+	"machine": {dims: dv(dimMachine, 1), scale: 1, known: true},
+	"period":  {dims: dv(dimPeriod, 1), scale: 1, known: true},
+}
+
+func dv(i int, e int8) dimVec {
+	var d dimVec
+	d[i] = e
+	return d
+}
+
+func dvv(i int, ei int8, j int, ej int8) dimVec {
+	d := dv(i, ei)
+	d[j] = ej
+	return d
+}
+
+// conversionConstants are the factors unitcheck recognizes as scale
+// hops: multiplying or dividing by one moves a value between scales of
+// the same dimension (W/1000 → kW, s/3600 → h, J/3.6e6 → kWh). Other
+// constants are plain dimensionless scalars.
+var conversionConstants = []float64{1e-6, 0.001, 1000, 3600, 1e6, 3.6e6}
+
+func isConversionConst(v float64) bool {
+	for _, c := range conversionConstants {
+		if sameScale(v, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// sameScale compares scale factors with a relative tolerance, so scales
+// reached by different arithmetic paths still unify.
+func sameScale(a, b float64) bool {
+	if a == b { //harmony:allow floateq exact-match fast path ahead of the relative-tolerance comparison
+		return true
+	}
+	if a == 0 || b == 0 {
+		return false
+	}
+	return math.Abs(a/b-1) < 1e-9
+}
+
+func (u unit) mul(v unit) unit {
+	if !u.known || !v.known {
+		return unit{}
+	}
+	out := unit{scale: u.scale * v.scale, known: true}
+	for i := range out.dims {
+		out.dims[i] = u.dims[i] + v.dims[i]
+	}
+	return out
+}
+
+func (u unit) div(v unit) unit {
+	if !u.known || !v.known {
+		return unit{}
+	}
+	out := unit{scale: u.scale / v.scale, known: true}
+	for i := range out.dims {
+		out.dims[i] = u.dims[i] - v.dims[i]
+	}
+	return out
+}
+
+// rescale returns u with its scale divided by c: the unit of u-valued
+// data after multiplying the data by c.
+func (u unit) rescale(c float64) unit {
+	if !u.known {
+		return u
+	}
+	u.scale /= c
+	return u
+}
+
+// sameDims reports dimension agreement (the add/compare precondition).
+func (u unit) sameDims(v unit) bool { return u.dims == v.dims }
+
+// compatible reports full agreement: same dimensions at the same scale.
+func (u unit) compatible(v unit) bool {
+	return u.dims == v.dims && sameScale(u.scale, v.scale)
+}
+
+func (u unit) isScalar() bool { return u.known && u.dims.isScalar() && sameScale(u.scale, 1) }
+
+// unitNames returns the vocabulary in sorted order (for docs and error
+// messages).
+func unitNames() []string {
+	names := make([]string, 0, len(namedUnits))
+	for n := range namedUnits {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// renderTable maps canonical (dims, scale) keys back to readable names:
+// every named unit plus every quotient of two named units, preferring
+// plain names over quotients and lexicographically smaller quotients on
+// ties. Built once, deterministically.
+var renderTable = buildRenderTable()
+
+func unitKey(u unit) string {
+	return fmt.Sprintf("%v|%.9e", u.dims, u.scale)
+}
+
+func buildRenderTable() map[string]string {
+	t := make(map[string]string)
+	names := unitNames()
+	for _, n := range names {
+		k := unitKey(namedUnits[n])
+		if _, ok := t[k]; !ok {
+			t[k] = n
+		}
+	}
+	for _, a := range names {
+		for _, b := range names {
+			if a == "1" || b == "1" || a == b {
+				continue
+			}
+			q := namedUnits[a].div(namedUnits[b])
+			k := unitKey(q)
+			if _, ok := t[k]; !ok {
+				t[k] = a + "/" + b
+			}
+		}
+	}
+	return t
+}
+
+// String renders a unit for diagnostics: a vocabulary name when one
+// matches, otherwise a composed base-dimension form with an explicit
+// scale marker, e.g. "W·s^-1 ×3600".
+func (u unit) String() string {
+	if !u.known {
+		return "?"
+	}
+	if name, ok := renderTable[unitKey(u)]; ok {
+		return name
+	}
+	base := [numDims]string{"W", "s", "$", "task", "machine", "period"}
+	var parts []string
+	for i, e := range u.dims {
+		switch {
+		case e == 1:
+			parts = append(parts, base[i])
+		case e != 0:
+			parts = append(parts, fmt.Sprintf("%s^%d", base[i], e))
+		}
+	}
+	s := strings.Join(parts, "·")
+	if s == "" {
+		s = "1"
+	}
+	if !sameScale(u.scale, 1) {
+		s += fmt.Sprintf(" ×%g", u.scale)
+	}
+	return s
+}
+
+// parseUnitExpr parses the annotation grammar:
+//
+//	expr   = factor { ("*" | "/") factor } .
+//	factor = name [ "^" int ] .
+//
+// e.g. "W", "$/kWh", "task/s", "W*s", "s^-1". Whitespace is ignored.
+func parseUnitExpr(s string) (unit, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return unit{}, fmt.Errorf("empty unit expression")
+	}
+	out := scalarUnit
+	rest := s
+	op := byte('*')
+	for {
+		idx := strings.IndexAny(rest, "*/")
+		factor := rest
+		var nextOp byte
+		if idx >= 0 {
+			factor, nextOp = rest[:idx], rest[idx]
+			rest = rest[idx+1:]
+		}
+		u, err := parseFactor(strings.TrimSpace(factor))
+		if err != nil {
+			return unit{}, err
+		}
+		if op == '/' {
+			out = out.div(u)
+		} else {
+			out = out.mul(u)
+		}
+		if idx < 0 {
+			return out, nil
+		}
+		if strings.TrimSpace(rest) == "" {
+			return unit{}, fmt.Errorf("trailing operator in %q", s)
+		}
+		op = nextOp
+	}
+}
+
+func parseFactor(f string) (unit, error) {
+	if f == "" {
+		return unit{}, fmt.Errorf("empty unit factor")
+	}
+	name, expStr := f, ""
+	if i := strings.IndexByte(f, '^'); i >= 0 {
+		name, expStr = f[:i], f[i+1:]
+	}
+	u, ok := namedUnits[name]
+	if !ok {
+		return unit{}, fmt.Errorf("unknown unit %q (vocabulary: %s)", name, strings.Join(unitNames(), " "))
+	}
+	if expStr == "" {
+		return u, nil
+	}
+	exp, err := strconv.Atoi(expStr)
+	if err != nil {
+		return unit{}, fmt.Errorf("bad exponent %q in %q", expStr, f)
+	}
+	out := scalarUnit
+	for i := 0; i < abs(exp); i++ {
+		if exp > 0 {
+			out = out.mul(u)
+		} else {
+			out = out.div(u)
+		}
+	}
+	return out, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestCollectValueTaken pins the value-taken set over the callgraph
+// fixture: the declared functions whose values escape into variables or
+// interface method values, which function-value dispatch later resolves
+// by signature. The set must include the method value (Dog.Sound), the
+// bound method (Gauge.Add), and — via the interface method value in
+// TakeInterfaceMethod — every Adder implementation ((*Offset).Add). The
+// abstract interface methods (Animal.Sound, Adder.Add) also land in the
+// set: the Ident walk visits the Sel identifier of every method
+// selector, and the call-position filter only excludes the selector
+// expression as a whole. That over-approximation is harmless — abstract
+// methods have no bodies to dispatch to — and deliberate, so it is
+// pinned here. Never included: plainly-called package functions (helper)
+// and methods whose value is never taken (Shifter.Shift).
+func TestCollectValueTaken(t *testing.T) {
+	pkgs, err := sharedLoader(t).LoadFixtureTree(filepath.Join("testdata", "src", "callgraph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &builder{
+		g: &Graph{
+			byObj: make(map[*types.Func]*Node),
+			byLit: make(map[*ast.FuncLit]*Node),
+			fset:  pkgs[0].Fset,
+		},
+		pkgs:       pkgs,
+		valueTaken: make(map[*types.Func]bool),
+		implCache:  make(map[implKey][]*types.Func),
+		reach:      make(map[string]map[string]bool),
+	}
+	b.collectNamedTypes()
+	b.collectNodes()
+	for _, node := range b.g.Funcs {
+		b.collectValueTaken(node)
+	}
+
+	var got []string
+	for fn := range b.valueTaken {
+		got = append(got, prettyFuncName(fn))
+	}
+	sort.Strings(got)
+	want := []string{
+		"callgraph.(*Offset).Add",
+		"callgraph.Adder.Add",
+		"callgraph.Animal.Sound",
+		"callgraph.Dog.Sound",
+		"callgraph.Gauge.Add",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("value-taken set = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value-taken set = %v, want %v", got, want)
+		}
+	}
+}

@@ -26,12 +26,14 @@ type HarmonyConfig struct {
 	Types    []classify.TaskType // flattened task types (class × sub-class)
 	Price    energy.Price
 
+	//harmony:unit(s)
 	PeriodSeconds float64
 	Horizon       int // MPC look-ahead W (>=1)
 
 	// SLODelay[g] is the target mean scheduling delay (seconds) per
 	// priority group. Zero entries default to sensible values
 	// (production 120s, other 300s, gratis 900s).
+	//harmony:unit(s)
 	SLODelay map[trace.PriorityGroup]float64
 	// ValuePerPeriod[g] is the utility earned per scheduled container
 	// per period; zero entries get defaults ordered by priority.
@@ -43,6 +45,7 @@ type HarmonyConfig struct {
 	// type (default 1).
 	Omega float64
 	// SwitchCost[m] is the dollar cost of one machine on/off transition.
+	//harmony:unit($)
 	SwitchCost []float64
 	// MinHistory is how many periods of arrival history must accumulate
 	// before ARIMA replaces the EWMA bootstrap predictor (default 24).
@@ -78,9 +81,10 @@ const (
 // per-type arrivals, forecasts rates, converts them to container demands
 // via the M/G/c model, and runs the CBS/CBP controller every period.
 type Harmony struct {
-	cfg        HarmonyConfig
-	ctrl       *core.Controller
-	sizing     []container.Sizing
+	cfg    HarmonyConfig
+	ctrl   *core.Controller
+	sizing []container.Sizing
+	//harmony:unit(task/s)
 	history    [][]float64 // arrival rate per type per elapsed period
 	contSeries map[trace.PriorityGroup]*stats.TimeBinner
 	lastErr    error
@@ -107,6 +111,7 @@ type Harmony struct {
 	// lastRates[n] is the most recent one-period-ahead arrival-rate
 	// forecast (tasks/s) for type n's class, recorded on short
 	// sub-types (where all arrivals land); long sub-types keep 0.
+	//harmony:unit(task/s)
 	lastRates []float64
 	// Per-period scratch, allocated once in NewHarmony and overwritten
 	// every tick so the steady-state control path does not churn the

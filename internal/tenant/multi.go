@@ -49,10 +49,14 @@ type Group struct {
 	members []*tenantState
 
 	// Cost model inputs, mirrored from the effective engine config.
-	idleKW     []float64 // per machine type
-	switchCost []float64 // dollars per on/off transition, per type
-	price      float64   // $/kWh
-	periodH    float64   // hours of model time per period
+	//harmony:unit(kW)
+	idleKW []float64 // per machine type
+	//harmony:unit($)
+	switchCost []float64 // per on/off transition, per type
+	//harmony:unit($/kWh)
+	price float64
+	//harmony:unit(h)
+	periodH float64 // model time per period
 
 	mu sync.Mutex
 	//harmony:guardedby(mu)
@@ -62,6 +66,7 @@ type Group struct {
 	//harmony:guardedby(mu)
 	violations uint64
 	//harmony:guardedby(mu)
+	//harmony:unit($)
 	cost float64
 	//harmony:guardedby(mu)
 	lastPlan *daemon.Plan
@@ -98,6 +103,7 @@ type tenantState struct {
 	//harmony:guardedby(mu)
 	window uint64 // tasks since the group's last tick (cost attribution)
 	//harmony:guardedby(mu)
+	//harmony:unit($)
 	cost float64
 }
 
@@ -115,24 +121,24 @@ type Multi struct {
 	mTenantInvalid  *metrics.CounterVec
 	mTenantRejected *metrics.CounterVec
 	mTenantCost     *metrics.GaugeVec
-	mGroupCost     *metrics.GaugeVec
-	mGroupViol     *metrics.CounterVec
-	mGroupTicks    *metrics.CounterVec
-	mGroupActive   *metrics.GaugeVec
-	mGroupCont     *metrics.GaugeVec
-	mGroupDropped  *metrics.GaugeVec
-	mGroupDeltaRe  *metrics.GaugeVec
-	mGroupDeltaRp  *metrics.GaugeVec
-	mGroupDeltaFu  *metrics.GaugeVec
+	mGroupCost      *metrics.GaugeVec
+	mGroupViol      *metrics.CounterVec
+	mGroupTicks     *metrics.CounterVec
+	mGroupActive    *metrics.GaugeVec
+	mGroupCont      *metrics.GaugeVec
+	mGroupDropped   *metrics.GaugeVec
+	mGroupDeltaRe   *metrics.GaugeVec
+	mGroupDeltaRp   *metrics.GaugeVec
+	mGroupDeltaFu   *metrics.GaugeVec
 }
 
 // Mirror of the daemon.Config defaults the cost model depends on; they
 // must track (*daemon.Config).defaults, and TestCostDefaultsMatchEngine
 // pins the period one through the engine.
 const (
-	defaultPeriodSeconds = 300
-	defaultPricePerKWh   = 0.08
-	defaultSwitchDollars = 0.01
+	defaultPeriodSeconds = 300  //harmony:unit(s)
+	defaultPricePerKWh   = 0.08 //harmony:unit($/kWh)
+	defaultSwitchDollars = 0.01 //harmony:unit($)
 )
 
 // New validates the configuration, groups the tenants, and builds one

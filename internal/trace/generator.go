@@ -8,8 +8,8 @@ import (
 
 // Day and Hour are the time units used by generator configuration.
 const (
-	Hour = 3600.0
-	Day  = 24 * Hour
+	Hour = 3600.0    //harmony:unit(s)
+	Day  = 24 * Hour //harmony:unit(s)
 )
 
 // SizeCluster is one mode of the per-group task-size mixture. Sizes are
@@ -25,14 +25,17 @@ type SizeCluster struct {
 
 // GroupProfile configures the workload of one priority group.
 type GroupProfile struct {
-	Share       float64       // fraction of all tasks in this group
-	Sizes       []SizeCluster // task-size mixture
-	ShortFrac   float64       // fraction of short tasks
-	ShortMean   float64       // mean short duration (seconds, log-normal)
-	LongAlpha   float64       // Pareto shape for long durations
-	LongMin     float64       // minimum long duration (seconds)
-	LongMax     float64       // maximum long duration (seconds)
-	MinClass    int           // scheduling classes drawn in [MinClass, MaxClass]
+	Share     float64       // fraction of all tasks in this group
+	Sizes     []SizeCluster // task-size mixture
+	ShortFrac float64       // fraction of short tasks
+	//harmony:unit(s)
+	ShortMean float64 // mean short duration (log-normal)
+	LongAlpha float64 // Pareto shape for long durations
+	//harmony:unit(s)
+	LongMin float64 // minimum long duration
+	//harmony:unit(s)
+	LongMax     float64 // maximum long duration
+	MinClass    int     // scheduling classes drawn in [MinClass, MaxClass]
 	MaxClass    int
 	PriorityLo  int // raw priorities drawn uniformly in [PriorityLo, PriorityHi]
 	PriorityHi  int
@@ -44,9 +47,11 @@ type GroupProfile struct {
 
 // Config fully parameterizes the synthetic generator.
 type Config struct {
-	Seed     int64
-	Horizon  float64 // trace length in seconds
-	RatePerS float64 // mean task arrival rate, tasks/second, across groups
+	Seed int64
+	//harmony:unit(s)
+	Horizon float64 // trace length
+	//harmony:unit(task/s)
+	RatePerS float64 // mean task arrival rate across groups
 
 	// Diurnal is the relative amplitude of the daily sinusoid on the
 	// arrival rate (0 = flat, 0.5 = ±50%).
@@ -242,8 +247,16 @@ func clampSize(x float64) float64 {
 func drawDuration(r *stats.RNG, g GroupProfile) float64 {
 	if r.Float64() < g.ShortFrac {
 		// Log-normal with the requested mean: exp(mu + s^2/2) = mean.
+		// Regression: a profile with ShortMean <= 0 used to feed math.Log
+		// a non-positive value, minting NaN durations that poisoned every
+		// downstream delay/energy figure. Degenerate profiles now fall
+		// back to the 1s duration floor (found by harmony-lint nansource).
 		const sigma = 1.0
-		mu := math.Log(g.ShortMean) - sigma*sigma/2
+		mean := g.ShortMean
+		if mean <= 0 {
+			mean = 1
+		}
+		mu := math.Log(mean) - sigma*sigma/2
 		d := stats.LogNormal(r, mu, sigma)
 		if d < 1 {
 			d = 1
